@@ -1,0 +1,66 @@
+// Command ealb-policy compares the §3 dynamic capacity-management
+// policies on a simulated server farm.
+//
+// Usage:
+//
+//	ealb-policy -workload spiky -servers 100 -horizon 7200
+//	ealb-policy -workload diurnal -setup 260
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ealb"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "spiky", "workload shape: steady, diurnal, spiky, trend")
+		servers = flag.Int("servers", 100, "farm size")
+		horizon = flag.Float64("horizon", 7200, "simulated seconds")
+		setup   = flag.Float64("setup", 260, "server setup time in seconds (paper cites up to 260s)")
+		seed    = flag.Uint64("seed", 1, "arrival sampling seed")
+	)
+	flag.Parse()
+
+	cfg := ealb.DefaultFarmConfig()
+	cfg.Servers = *servers
+	cfg.Horizon = ealb.Seconds(*horizon)
+	cfg.SetupTime = ealb.Seconds(*setup)
+	cfg.Seed = *seed
+
+	var rate ealb.RateFunc
+	switch *wl {
+	case "steady":
+		rate = ealb.ConstantRate(3000)
+	case "diurnal":
+		rate = ealb.DiurnalRate(1000, 4000, cfg.Horizon)
+	case "spiky":
+		rate = ealb.ComposeRates(
+			ealb.ConstantRate(1000),
+			ealb.SpikeRate(0, 5000, cfg.Horizon/3, cfg.Horizon/12),
+			ealb.SpikeRate(0, 3000, 2*cfg.Horizon/3, cfg.Horizon/20),
+		)
+	case "trend":
+		rate = ealb.TrendRate(500, 0.5)
+	default:
+		fmt.Fprintf(os.Stderr, "ealb-policy: unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	results, err := ealb.ComparePolicies(cfg, ealb.StandardPoliciesFor(cfg, rate), rate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ealb-policy:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload=%s servers=%d horizon=%v setup=%v\n\n", *wl, *servers, cfg.Horizon, cfg.SetupTime)
+	fmt.Printf("%-20s %-12s %-10s %-9s %-11s %-10s\n",
+		"policy", "energy(kWh)", "drop-rate", "rt-viol", "mean-rt(ms)", "avg-active")
+	for _, r := range results {
+		fmt.Printf("%-20s %-12.2f %-10.4f %-9d %-11.1f %-10.1f\n",
+			r.Policy, r.Energy.KWh(), r.DropRate(), r.RTViolationSlots, r.MeanResponse*1000, r.AvgActive)
+	}
+}

@@ -1,0 +1,89 @@
+// Command ealb-sim runs a single cluster simulation and streams
+// per-interval statistics, suitable for piping into plotting tools.
+//
+// Usage:
+//
+//	ealb-sim -size 1000 -load high -intervals 40 -seed 42
+//	ealb-sim -size 100 -load low -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ealb"
+)
+
+func main() {
+	var (
+		size      = flag.Int("size", 1000, "cluster size (number of servers)")
+		load      = flag.String("load", "low", "initial load band: low (20-40%) or high (60-80%)")
+		intervals = flag.Int("intervals", 40, "reallocation intervals to simulate")
+		seed      = flag.Uint64("seed", 2014, "simulation seed")
+		sleep     = flag.String("sleep", "auto", "sleep policy: auto, c3, c6, never")
+		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
+	)
+	flag.Parse()
+
+	var band ealb.Band
+	switch *load {
+	case "low":
+		band = ealb.LowLoad()
+	case "high":
+		band = ealb.HighLoad()
+	default:
+		fmt.Fprintf(os.Stderr, "ealb-sim: unknown load band %q (want low or high)\n", *load)
+		os.Exit(2)
+	}
+
+	cfg := ealb.DefaultClusterConfig(*size, band, *seed)
+	switch *sleep {
+	case "auto":
+		cfg.Sleep = ealb.SleepAuto
+	case "c3":
+		cfg.Sleep = ealb.SleepC3Only
+	case "c6":
+		cfg.Sleep = ealb.SleepC6Only
+	case "never":
+		cfg.Sleep = ealb.SleepNever
+	default:
+		fmt.Fprintf(os.Stderr, "ealb-sim: unknown sleep policy %q\n", *sleep)
+		os.Exit(2)
+	}
+
+	c, err := ealb.NewCluster(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ealb-sim:", err)
+		os.Exit(1)
+	}
+	stats, err := c.RunIntervals(*intervals)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ealb-sim:", err)
+		os.Exit(1)
+	}
+
+	if *csv {
+		fmt.Println("interval,ratio,local,incluster,migrations,sleeping,woken,sla_violations,cluster_load,interval_energy_j,avg_q_j,avg_p_j,avg_j_j")
+		for _, s := range stats {
+			fmt.Printf("%d,%.6f,%d,%d,%d,%d,%d,%d,%.6f,%.1f,%.2f,%.2f,%.4f\n",
+				s.Index, s.Ratio, s.Decisions.Local, s.Decisions.InCluster,
+				s.Migrations, s.Sleeping, s.Woken, s.SLAViolations,
+				float64(s.ClusterLoad), float64(s.IntervalEnergy),
+				float64(s.AvgQCost), float64(s.AvgPCost), float64(s.AvgJCost))
+		}
+	} else {
+		fmt.Printf("%-8s %-8s %-7s %-10s %-10s %-9s %-6s %-8s\n",
+			"interval", "ratio", "local", "in-cluster", "migrations", "sleeping", "SLA", "load")
+		for _, s := range stats {
+			fmt.Printf("%-8d %-8.3f %-7d %-10d %-10d %-9d %-6d %-8.3f\n",
+				s.Index, s.Ratio, s.Decisions.Local, s.Decisions.InCluster,
+				s.Migrations, s.Sleeping, s.SLAViolations, float64(s.ClusterLoad))
+		}
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"\ntotal energy: %v  migrations: %d  wakes: %d  sleeping at end: %d  mean ratio: %.4f (std %.4f)\n",
+		c.TotalEnergy(), c.Migrations(), c.Wakes(), c.SleepingCount(),
+		c.Ledger().MeanRatio(), c.Ledger().StdDevRatio())
+}

@@ -1,0 +1,182 @@
+// Package ealb is the public API of the energy-aware load balancing
+// library, a from-scratch Go reproduction of Paya & Marinescu,
+// "Energy-aware Load Balancing Policies for the Cloud Ecosystem"
+// (arXiv:1401.2198, IPDPS workshops 2014).
+//
+// The library simulates a clustered cloud whose leader concentrates load
+// on the smallest set of servers operating within an optimal energy
+// regime and switches the rest to ACPI sleep states, subject to QoS
+// constraints. Three layers are exposed:
+//
+//   - the cluster simulation (NewCluster / Cluster.RunIntervals), the
+//     paper's §4-§5 protocol over heterogeneous servers with five
+//     operating regimes R1-R5;
+//   - the capacity-management policy farm (SimulatePolicy, StandardPolicies),
+//     the §3 survey of reactive/predictive/optimal policies;
+//   - the analytic homogeneous model (HomogeneousModel), §4's closed-form
+//     E_ref/E_opt estimate;
+//
+// plus the experiment runners (RunExperiment) that regenerate every table
+// and figure of the paper. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-versus-measured results.
+//
+// Everything is deterministic: the same seed reproduces a simulation
+// bit for bit, on any platform, using only the standard library.
+package ealb
+
+import (
+	"io"
+
+	"ealb/internal/analytic"
+	"ealb/internal/cluster"
+	"ealb/internal/experiments"
+	"ealb/internal/policy"
+	"ealb/internal/units"
+	"ealb/internal/workload"
+)
+
+// Quantity types re-exported for configuration.
+type (
+	// Watts is instantaneous power.
+	Watts = units.Watts
+	// Joules is energy.
+	Joules = units.Joules
+	// Seconds is simulated time.
+	Seconds = units.Seconds
+	// Fraction is a normalized quantity in [0,1] (loads, regimes).
+	Fraction = units.Fraction
+)
+
+// Cluster simulation (the paper's primary contribution).
+type (
+	// ClusterConfig parameterizes a cluster simulation; start from
+	// DefaultClusterConfig.
+	ClusterConfig = cluster.Config
+	// Cluster is a simulated cluster with its leader protocol.
+	Cluster = cluster.Cluster
+	// IntervalStats summarizes one reallocation interval.
+	IntervalStats = cluster.IntervalStats
+	// SleepPolicy selects how consolidation chooses sleep states.
+	SleepPolicy = cluster.SleepPolicy
+	// Band is a uniform initial-load band.
+	Band = workload.Band
+)
+
+// Sleep policies.
+const (
+	// SleepAuto applies the paper's 60% rule (§6).
+	SleepAuto = cluster.SleepAuto
+	// SleepC3Only always uses the shallow C3 state.
+	SleepC3Only = cluster.SleepC3Only
+	// SleepC6Only always uses the deep C6 state.
+	SleepC6Only = cluster.SleepC6Only
+	// SleepNever is the always-on baseline.
+	SleepNever = cluster.SleepNever
+)
+
+// DefaultClusterConfig returns the §5 experiment parameterization for a
+// cluster of the given size and initial load band.
+func DefaultClusterConfig(size int, band Band, seed uint64) ClusterConfig {
+	return cluster.DefaultConfig(size, band, seed)
+}
+
+// NewCluster builds and populates a cluster simulation.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// LowLoad returns the paper's 20-40% initial-load band.
+func LowLoad() Band { return workload.LowLoad() }
+
+// HighLoad returns the paper's 60-80% initial-load band.
+func HighLoad() Band { return workload.HighLoad() }
+
+// Capacity-management policies (§3).
+type (
+	// Policy decides farm capacity for the next slot.
+	Policy = policy.Policy
+	// FarmConfig parameterizes the policy farm simulation.
+	FarmConfig = policy.FarmConfig
+	// PolicyResult summarizes one policy run.
+	PolicyResult = policy.Result
+	// RateFunc is a request-arrival rate profile.
+	RateFunc = workload.RateFunc
+)
+
+// DefaultFarmConfig returns the standard policy-comparison farm.
+func DefaultFarmConfig() FarmConfig { return policy.DefaultFarmConfig() }
+
+// SimulatePolicy runs one capacity-management policy against a workload.
+func SimulatePolicy(cfg FarmConfig, pol Policy, rate RateFunc) (PolicyResult, error) {
+	return policy.Simulate(cfg, pol, rate)
+}
+
+// ComparePolicies runs several policies against the same workload.
+func ComparePolicies(cfg FarmConfig, pols []Policy, rate RateFunc) ([]PolicyResult, error) {
+	return policy.Compare(cfg, pols, rate)
+}
+
+// StandardPolicies returns the §3 policy line-up: reactive, reactive with
+// extra capacity, autoscale, moving-window, linear-regression, and the
+// optimal oracle (which needs the true rate function and setup time).
+func StandardPolicies(setup Seconds, rate RateFunc) []Policy {
+	return policy.StandardSet(setup, rate)
+}
+
+// StandardPoliciesFor is StandardPolicies with the oracle matched to the
+// farm's service rate and response-time target, making it SLA-optimal
+// (the paper's "optimal policy ... does not produce any SLA violations").
+func StandardPoliciesFor(cfg FarmConfig, rate RateFunc) []Policy {
+	return policy.StandardSetFor(cfg, rate)
+}
+
+// Workload profiles for the policy farm.
+var (
+	// ConstantRate is a flat arrival-rate profile.
+	ConstantRate = workload.ConstantRate
+	// DiurnalRate is a daily-cycle profile.
+	DiurnalRate = workload.DiurnalRate
+	// SpikeRate overlays a flash crowd on a base rate.
+	SpikeRate = workload.SpikeRate
+	// TrendRate grows linearly.
+	TrendRate = workload.TrendRate
+	// ComposeRates sums several profiles.
+	ComposeRates = workload.Compose
+)
+
+// HomogeneousModel is the §4 analytic model (eqs. 6-13).
+type HomogeneousModel = analytic.Model
+
+// PaperExample returns the §4 worked example whose E_ref/E_opt is 2.25.
+func PaperExample() HomogeneousModel { return analytic.PaperExample() }
+
+// Experiment reproduction.
+type (
+	// ExperimentOptions tunes a reproduction run (seed, interval count,
+	// cluster-size sweep).
+	ExperimentOptions = experiments.Options
+	// ClusterRun is the raw outcome of one (size, band) experiment.
+	ClusterRun = experiments.ClusterRun
+)
+
+// DefaultExperimentOptions returns the paper's parameters (seed 2014,
+// 40 intervals, sizes 10^2/10^3/10^4).
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// ExperimentNames lists the reproducible tables/figures/ablations.
+func ExperimentNames() []string { return experiments.Names() }
+
+// RunExperiment regenerates one table or figure by name, writing the
+// report to w. Valid names come from ExperimentNames.
+func RunExperiment(name string, w io.Writer, opt ExperimentOptions) error {
+	return experiments.Run(name, w, opt)
+}
+
+// RunAllExperiments regenerates every table and figure.
+func RunAllExperiments(w io.Writer, opt ExperimentOptions) error {
+	return experiments.RunAll(w, opt)
+}
+
+// RunClusterExperiment runs one (size, band) cluster simulation with the
+// paper's defaults and returns the raw measurements.
+func RunClusterExperiment(size int, band Band, seed uint64, intervals int) (ClusterRun, error) {
+	return experiments.RunCluster(size, band, seed, intervals, nil)
+}

@@ -1,0 +1,58 @@
+package ealb_test
+
+import (
+	"fmt"
+	"log"
+
+	"ealb"
+)
+
+// ExampleNewCluster builds a small cluster and runs the reallocation
+// protocol; every number is reproducible from the seed.
+func ExampleNewCluster() {
+	cfg := ealb.DefaultClusterConfig(50, ealb.LowLoad(), 1)
+	c, err := ealb.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.RunIntervals(10); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("servers:", len(c.Servers()))
+	fmt.Println("sleeping:", c.SleepingCount())
+	// Output:
+	// servers: 50
+	// sleeping: 10
+}
+
+// ExamplePaperExample reproduces the paper's §4 worked example.
+func ExamplePaperExample() {
+	m := ealb.PaperExample()
+	ratio, err := m.EnergyRatio()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("E_ref/E_opt = %.2f\n", ratio)
+	// Output:
+	// E_ref/E_opt = 2.25
+}
+
+// ExampleSimulatePolicy runs the reactive policy against a constant load.
+func ExampleSimulatePolicy() {
+	cfg := ealb.DefaultFarmConfig()
+	cfg.Horizon = 600
+	res, err := ealb.SimulatePolicy(cfg, ealbReactive(), ealb.ConstantRate(1000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("policy:", res.Policy)
+	fmt.Println("slots:", res.Slots)
+	// Output:
+	// policy: reactive
+	// slots: 60
+}
+
+// ealbReactive picks the reactive policy out of the standard set.
+func ealbReactive() ealb.Policy {
+	return ealb.StandardPolicies(260, ealb.ConstantRate(1000))[0]
+}

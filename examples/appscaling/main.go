@@ -1,0 +1,56 @@
+// Application scaling: reproduce the paper's Figure 3 dynamics for one
+// configuration — the per-interval ratio of high-cost in-cluster
+// (horizontal) scaling decisions to low-cost local (vertical) ones, under
+// heavy load, where the crossover to local dominance happens within a few
+// intervals.
+//
+// Run with:
+//
+//	go run ./examples/appscaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ealb"
+)
+
+func main() {
+	// The paper's high-load scenario: initial server load uniform in
+	// 60-80%. Horizontal scaling is only possible while some servers
+	// still have optimal-regime headroom; once they saturate, growth is
+	// absorbed locally and vertical scaling dominates.
+	run, err := ealb.RunClusterExperiment(400, ealb.HighLoad(), 11, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("in-cluster / local decision ratio, 400 servers at 70% average load")
+	fmt.Println("(each row is one reallocation interval; paper: local dominates after ~5)")
+	fmt.Println()
+	for i, r := range run.Ratios() {
+		bar := int(r * 10)
+		if bar > 60 {
+			bar = 60
+		}
+		marker := " "
+		if r >= 1 {
+			marker = "*" // in-cluster decisions dominate
+		}
+		fmt.Printf("%2d %s %6.2f |%s\n", i+1, marker, r, strings.Repeat("#", bar))
+	}
+
+	fmt.Printf("\ncrossover to local dominance at interval %d\n", run.Crossover())
+	fmt.Printf("mean ratio %.3f (std %.3f) — paper's Table 2 reports 0.52-0.55 at 70%% load\n",
+		run.MeanRatio, run.StdRatio)
+
+	// The same run at low load crosses over much later.
+	low, err := ealb.RunClusterExperiment(400, ealb.LowLoad(), 11, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfor comparison, at 30%% load the crossover lands at interval %d (paper: ~20)\n",
+		low.Crossover())
+}

@@ -1,0 +1,96 @@
+package ealb
+
+import (
+	"strings"
+	"testing"
+
+	"ealb/internal/experiments"
+)
+
+// TestAllExperimentsEndToEnd runs every registered experiment at reduced
+// scale and checks each produces non-trivial output. This is the
+// integration test for the whole reproduction pipeline: workload
+// generation → cluster protocol → metrics → rendering.
+func TestAllExperimentsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep skipped in -short mode")
+	}
+	opt := experiments.Options{Seed: 7, Intervals: 40, Sizes: []int{80}}
+	for _, name := range ExperimentNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := RunExperiment(name, &sb, opt); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			out := sb.String()
+			if len(out) < 80 {
+				t.Fatalf("%s produced suspiciously little output: %q", name, out)
+			}
+			if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+				t.Errorf("%s output contains non-finite values:\n%s", name, out)
+			}
+		})
+	}
+}
+
+// TestExperimentOutputDeterminism runs the same experiment twice and
+// requires byte-identical output — the reproducibility guarantee the
+// README makes.
+func TestExperimentOutputDeterminism(t *testing.T) {
+	opt := experiments.Options{Seed: 3, Intervals: 20, Sizes: []int{60}}
+	for _, name := range []string{"figure2", "figure3", "table2", "energy"} {
+		var a, b strings.Builder
+		if err := RunExperiment(name, &a, opt); err != nil {
+			t.Fatal(err)
+		}
+		if err := RunExperiment(name, &b, opt); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s output is not deterministic", name)
+		}
+	}
+}
+
+// TestSeedSensitivity verifies the opposite: a different seed must
+// actually change the simulation (guards against a pipeline that ignores
+// its seed).
+func TestSeedSensitivity(t *testing.T) {
+	optA := experiments.Options{Seed: 3, Intervals: 20, Sizes: []int{60}}
+	optB := experiments.Options{Seed: 4, Intervals: 20, Sizes: []int{60}}
+	var a, b strings.Builder
+	if err := RunExperiment("table2", &a, optA); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunExperiment("table2", &b, optB); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Error("different seeds produced identical table2 output")
+	}
+}
+
+// TestHeadlineClaims pins the paper's three headline qualitative results
+// at an end-to-end level, independent of any package internals:
+// consolidation happens only at low load, it saves energy, and the
+// scaling-decision crossover is earlier under high load.
+func TestHeadlineClaims(t *testing.T) {
+	low, err := RunClusterExperiment(150, LowLoad(), 2014, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := RunClusterExperiment(150, HighLoad(), 2014, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Sleeping == 0 || high.Sleeping != 0 {
+		t.Errorf("sleep counts: low %d (want >0), high %d (want 0)", low.Sleeping, high.Sleeping)
+	}
+	if high.Crossover() >= low.Crossover() {
+		t.Errorf("crossover: high %d must precede low %d", high.Crossover(), low.Crossover())
+	}
+	if low.MeanRatio <= 0 || high.MeanRatio <= 0 {
+		t.Error("mean ratios must be positive")
+	}
+}

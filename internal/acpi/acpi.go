@@ -1,0 +1,152 @@
+// Package acpi models the ACPI power states the paper builds its sleep
+// strategy on (§2 "Sleep states"): processor C-states (C0-C6), device
+// D-states (D0-D3) and system S-states (S1-S4).
+//
+// The paper abstracts each sleep state into three observables — the power
+// drawn while asleep, the latency to return to the running state C0, and
+// the energy spent during the wake-up (reported to be close to the peak
+// draw for the whole setup period, which can reach 260 seconds [9]). This
+// package encodes exactly those observables plus a transition manager that
+// does the energy/time bookkeeping for a server-level simulation.
+//
+// The deeper the state, the lower the sleep power and the longer (and more
+// expensive) the wake-up: the C3-versus-C6 trade-off that the cluster
+// protocol's 60% rule (§6) arbitrates.
+package acpi
+
+import (
+	"fmt"
+
+	"ealb/internal/units"
+)
+
+// CState is a processor sleep state. C0 is fully operational; higher
+// numbers cut clocks (C1-C3) and then reduce voltage (C4-C6).
+type CState int
+
+// Processor power states.
+const (
+	C0 CState = iota // fully operational
+	C1               // main internal clock stopped, bus + APIC running
+	C2               // more clocks gated
+	C3               // all internal clocks stopped
+	C4               // voltage reduced
+	C5               // further voltage reduction
+	C6               // deepest sleep, near-zero draw
+)
+
+// String implements fmt.Stringer.
+func (c CState) String() string {
+	if c < C0 || c > C6 {
+		return fmt.Sprintf("CState(%d)", int(c))
+	}
+	return [...]string{"C0", "C1", "C2", "C3", "C4", "C5", "C6"}[c]
+}
+
+// Valid reports whether c is a defined processor state.
+func (c CState) Valid() bool { return c >= C0 && c <= C6 }
+
+// Sleeping reports whether c is any state other than the running state C0.
+func (c CState) Sleeping() bool { return c.Valid() && c != C0 }
+
+// Deeper reports whether c saves more power than other (higher state
+// number, per §2: "the higher the state number, the deeper the sleep").
+func (c CState) Deeper(other CState) bool { return c > other }
+
+// Spec captures the observable behaviour of one sleep state.
+type Spec struct {
+	State CState
+	// SleepPowerFrac is the power drawn while in the state, as a fraction
+	// of the server's peak power.
+	SleepPowerFrac units.Fraction
+	// WakeLatency is the time to return to C0.
+	WakeLatency units.Seconds
+	// WakePowerFrac is the draw during wake-up as a fraction of peak; the
+	// paper reports setup-phase consumption "close to the maximal one".
+	WakePowerFrac units.Fraction
+	// EnterLatency is the time to transition into the state from C0.
+	EnterLatency units.Seconds
+}
+
+// WakeEnergy returns the energy cost of one wake-up for a server with the
+// given peak power.
+func (s Spec) WakeEnergy(peak units.Watts) units.Joules {
+	return units.Energy(units.Watts(float64(peak)*float64(s.WakePowerFrac)), s.WakeLatency)
+}
+
+// SleepPower returns the draw while parked in the state.
+func (s Spec) SleepPower(peak units.Watts) units.Watts {
+	return units.Watts(float64(peak) * float64(s.SleepPowerFrac))
+}
+
+// DefaultSpecs returns the sleep-state table used by the simulations.
+// C0's entry is a placeholder (its power comes from the power model, not
+// the table). The C3/C6 wake latencies bracket the range the paper quotes:
+// tens of seconds for a shallow server sleep up to the 260-second setup
+// time of [9] for the deepest state.
+func DefaultSpecs() map[CState]Spec {
+	return map[CState]Spec{
+		C0: {State: C0, SleepPowerFrac: 1.00, WakeLatency: 0, WakePowerFrac: 0, EnterLatency: 0},
+		C1: {State: C1, SleepPowerFrac: 0.55, WakeLatency: 0.01, WakePowerFrac: 1, EnterLatency: 0.001},
+		C2: {State: C2, SleepPowerFrac: 0.45, WakeLatency: 0.1, WakePowerFrac: 1, EnterLatency: 0.01},
+		C3: {State: C3, SleepPowerFrac: 0.15, WakeLatency: 30, WakePowerFrac: 1, EnterLatency: 1},
+		C4: {State: C4, SleepPowerFrac: 0.10, WakeLatency: 60, WakePowerFrac: 1, EnterLatency: 2},
+		C5: {State: C5, SleepPowerFrac: 0.05, WakeLatency: 120, WakePowerFrac: 1, EnterLatency: 3},
+		C6: {State: C6, SleepPowerFrac: 0.02, WakeLatency: 260, WakePowerFrac: 1, EnterLatency: 5},
+	}
+}
+
+// DState is a device power state (modems, hard drives, CD-ROM per §2).
+type DState int
+
+// Device power states.
+const (
+	D0 DState = iota // fully on
+	D1
+	D2
+	D3 // off
+)
+
+// String implements fmt.Stringer.
+func (d DState) String() string {
+	if d < D0 || d > D3 {
+		return fmt.Sprintf("DState(%d)", int(d))
+	}
+	return [...]string{"D0", "D1", "D2", "D3"}[d]
+}
+
+// DevicePowerFrac returns the representative fraction of device peak power
+// drawn in each D-state.
+func DevicePowerFrac(d DState) (units.Fraction, error) {
+	switch d {
+	case D0:
+		return 1, nil
+	case D1:
+		return 0.6, nil
+	case D2:
+		return 0.3, nil
+	case D3:
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("acpi: unknown D-state %v", d)
+	}
+}
+
+// SState is a whole-system sleep state (BIOS-level, §2).
+type SState int
+
+// System sleep states.
+const (
+	S1 SState = iota + 1 // standby: CPU caches flushed, power maintained
+	S2                   // CPU powered off
+	S3                   // suspend to RAM
+	S4                   // hibernate: suspend to disk
+)
+
+// String implements fmt.Stringer.
+func (s SState) String() string {
+	if s < S1 || s > S4 {
+		return fmt.Sprintf("SState(%d)", int(s))
+	}
+	return [...]string{"S1", "S2", "S3", "S4"}[s-1]
+}

@@ -1,0 +1,71 @@
+package acpi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ealb/internal/units"
+)
+
+// BreakEven answers the paper's question 3 (§3): how long must a server
+// stay asleep in state c for the sleep to save energy at all, given that
+// entering and (especially) waking cost energy?
+//
+// While asleep the server saves idle − sleepPower per second relative to
+// staying idle in C0; the transition overhead is the enter-phase energy
+// plus the wake-up energy (near peak draw for the whole setup time). The
+// break-even duration is the ratio of the two. Sleeping for less than
+// this duration wastes energy — the reason reactive policies that flap
+// servers on and off can consume more than they save.
+func BreakEven(spec Spec, peak, idle units.Watts) (units.Seconds, error) {
+	if peak <= 0 || idle < 0 || idle > peak {
+		return 0, fmt.Errorf("acpi: invalid power levels peak=%v idle=%v", peak, idle)
+	}
+	if !spec.State.Sleeping() {
+		return 0, fmt.Errorf("acpi: %v is not a sleep state", spec.State)
+	}
+	saving := idle - spec.SleepPower(peak)
+	if saving <= 0 {
+		// The state draws at least as much as idling: never pays off.
+		return units.Seconds(math.Inf(1)), nil
+	}
+	overhead := spec.WakeEnergy(peak) + units.Energy(spec.SleepPower(peak), spec.EnterLatency)
+	return units.Seconds(float64(overhead) / float64(saving)), nil
+}
+
+// BestStateFor returns the sleep state that saves the most energy over an
+// idle period of the given expected duration, or C0 (stay awake) when no
+// state pays off. This is the per-server decision rule behind §6's
+// cluster-level 60% heuristic: short expected idle → shallow state,
+// long → deep.
+func BestStateFor(specs map[CState]Spec, peak, idle units.Watts, expected units.Seconds) (CState, error) {
+	if expected < 0 {
+		return C0, fmt.Errorf("acpi: negative expected idle duration %v", expected)
+	}
+	best := C0
+	bestSaving := 0.0
+	// Deterministic iteration order.
+	states := make([]CState, 0, len(specs))
+	for c := range specs {
+		if c.Sleeping() {
+			states = append(states, c)
+		}
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+	for _, c := range states {
+		spec := specs[c]
+		if spec.WakeLatency > expected {
+			// Cannot wake in time: the state is not usable for this
+			// horizon at all.
+			continue
+		}
+		saving := float64(idle-spec.SleepPower(peak))*float64(expected) -
+			float64(spec.WakeEnergy(peak)) -
+			float64(units.Energy(spec.SleepPower(peak), spec.EnterLatency))
+		if saving > bestSaving {
+			best, bestSaving = c, saving
+		}
+	}
+	return best, nil
+}

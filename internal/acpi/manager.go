@@ -1,0 +1,122 @@
+package acpi
+
+import (
+	"fmt"
+
+	"ealb/internal/units"
+)
+
+// Manager tracks the sleep state of one server and accounts for the time
+// and energy spent in states and transitions. It is the piece of the
+// hypervisor the paper calls "the energy management component" (§3).
+type Manager struct {
+	specs map[CState]Spec
+	peak  units.Watts
+
+	state CState
+	// busyUntil is the simulation time at which the in-flight transition
+	// (if any) completes; the manager rejects new transitions before then.
+	busyUntil units.Seconds
+
+	transitionEnergy units.Joules
+	wakeCount        int
+	sleepCount       int
+}
+
+// NewManager returns a manager for a server with the given peak power,
+// starting in C0 (all servers begin operational, per §4). A nil specs map
+// selects DefaultSpecs.
+func NewManager(peak units.Watts, specs map[CState]Spec) (*Manager, error) {
+	if peak <= 0 {
+		return nil, fmt.Errorf("acpi: non-positive peak power %v", peak)
+	}
+	if specs == nil {
+		specs = DefaultSpecs()
+	}
+	for c := C0; c <= C6; c++ {
+		if _, ok := specs[c]; !ok {
+			return nil, fmt.Errorf("acpi: specs missing %v", c)
+		}
+	}
+	return &Manager{specs: specs, peak: peak, state: C0}, nil
+}
+
+// State returns the current sleep state. During a transition this is
+// already the target state; use Busy to check transition progress.
+func (m *Manager) State() CState { return m.state }
+
+// Busy reports whether a transition is still in flight at time now.
+func (m *Manager) Busy(now units.Seconds) bool { return now < m.busyUntil }
+
+// ReadyAt returns when the in-flight transition (if any) completes.
+func (m *Manager) ReadyAt() units.Seconds { return m.busyUntil }
+
+// Spec returns the spec of state c.
+func (m *Manager) Spec(c CState) (Spec, error) {
+	s, ok := m.specs[c]
+	if !ok {
+		return Spec{}, fmt.Errorf("acpi: unknown state %v", c)
+	}
+	return s, nil
+}
+
+// WakeCount returns how many sleep→C0 transitions have been performed.
+func (m *Manager) WakeCount() int { return m.wakeCount }
+
+// SleepCount returns how many C0→sleep transitions have been performed.
+func (m *Manager) SleepCount() int { return m.sleepCount }
+
+// TransitionEnergy returns the cumulative energy spent in transitions.
+func (m *Manager) TransitionEnergy() units.Joules { return m.transitionEnergy }
+
+// Sleep moves the server from C0 into sleep state target at time now.
+// It returns the time at which the server is parked in the target state.
+func (m *Manager) Sleep(target CState, now units.Seconds) (units.Seconds, error) {
+	if !target.Sleeping() {
+		return 0, fmt.Errorf("acpi: Sleep target %v is not a sleep state", target)
+	}
+	if m.state != C0 {
+		return 0, fmt.Errorf("acpi: Sleep from %v; server must be running", m.state)
+	}
+	if m.Busy(now) {
+		return 0, fmt.Errorf("acpi: transition in flight until %v", m.busyUntil)
+	}
+	spec := m.specs[target]
+	// Entering a sleep state costs the enter latency at roughly idle-level
+	// draw; we charge the sleep-state power for it, a small conservative
+	// under-count compared to wake costs which dominate by orders of
+	// magnitude.
+	m.transitionEnergy += units.Energy(spec.SleepPower(m.peak), spec.EnterLatency)
+	m.state = target
+	m.busyUntil = now + spec.EnterLatency
+	m.sleepCount++
+	return m.busyUntil, nil
+}
+
+// Wake starts the transition back to C0 at time now. It returns the time
+// at which the server is operational and charges the wake energy (near
+// peak draw for the whole setup time, per [9]).
+func (m *Manager) Wake(now units.Seconds) (units.Seconds, error) {
+	if m.state == C0 {
+		return 0, fmt.Errorf("acpi: Wake while already running")
+	}
+	if m.Busy(now) {
+		return 0, fmt.Errorf("acpi: transition in flight until %v", m.busyUntil)
+	}
+	spec := m.specs[m.state]
+	m.transitionEnergy += spec.WakeEnergy(m.peak)
+	m.state = C0
+	m.busyUntil = now + spec.WakeLatency
+	m.wakeCount++
+	return m.busyUntil, nil
+}
+
+// SleepPower returns the draw of the current state while asleep. Calling
+// it in C0 is a programming error (operational power comes from the power
+// model, not from the ACPI table) and panics.
+func (m *Manager) SleepPower() units.Watts {
+	if m.state == C0 {
+		panic("acpi: SleepPower while running; use the power model")
+	}
+	return m.specs[m.state].SleepPower(m.peak)
+}

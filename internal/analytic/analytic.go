@@ -1,0 +1,117 @@
+// Package analytic implements the paper's homogeneous cloud model (§4,
+// equations 6-13): a closed-form estimate of the energy saved by
+// concentrating load on the smallest set of servers operating at an
+// optimal level and sleeping the rest.
+//
+// In the reference scenario all n servers run at normalized performance
+// levels spread over [a_min, a_max] with average normalized energy
+// consumption b_avg, so E_ref = n·b_avg and C_ref = n·a_avg operations.
+// In the optimized scenario n_sleep servers sleep and the remainder run
+// at a_opt with energy b_opt = b_avg + ε. Holding the computed volume
+// constant gives n/(n−n_sleep) = a_opt/a_avg and therefore
+//
+//	E_ref/E_opt = (a_opt/a_avg) · (b_avg/b_opt)     (eq. 12)
+//
+// The paper's worked example (b_avg=0.6, a_avg=0.3, b_opt=0.8, a_opt=0.9)
+// yields 2.25 — optimal operation cuts energy to less than half.
+package analytic
+
+import (
+	"fmt"
+
+	"ealb/internal/units"
+)
+
+// Model holds the homogeneous-cloud parameters.
+type Model struct {
+	// N is the number of physical servers.
+	N int
+	// AMin and AMax bound the reference normalized performance levels;
+	// the average is their midpoint (eq. 7).
+	AMin, AMax units.Fraction
+	// BAvg is the average normalized energy per operation in the
+	// reference scenario.
+	BAvg units.Fraction
+	// AOpt and BOpt are the optimized operating point (b_opt=b_avg+ε).
+	AOpt, BOpt units.Fraction
+}
+
+// PaperExample returns the §4 worked example: b_avg=0.6, a_avg=0.3
+// (from a∈[0.0,0.6]), b_opt=0.8, a_opt=0.9 for a 1000-server cloud.
+func PaperExample() Model {
+	return Model{N: 1000, AMin: 0, AMax: 0.6, BAvg: 0.6, AOpt: 0.9, BOpt: 0.8}
+}
+
+// Validate checks the model parameters.
+func (m Model) Validate() error {
+	if m.N <= 0 {
+		return fmt.Errorf("analytic: non-positive server count %d", m.N)
+	}
+	if !m.AMin.Valid() || !m.AMax.Valid() || m.AMax <= m.AMin {
+		return fmt.Errorf("analytic: invalid performance interval [%v,%v]", m.AMin, m.AMax)
+	}
+	for _, f := range []units.Fraction{m.BAvg, m.AOpt, m.BOpt} {
+		if !f.Valid() || f == 0 {
+			return fmt.Errorf("analytic: parameter %v outside (0,1]", f)
+		}
+	}
+	if m.AOpt <= m.AAvg() {
+		return fmt.Errorf("analytic: a_opt %v must exceed a_avg %v (otherwise no server can sleep)", m.AOpt, m.AAvg())
+	}
+	if m.BOpt < m.BAvg {
+		return fmt.Errorf("analytic: b_opt %v below b_avg %v contradicts b_opt = b_avg + ε", m.BOpt, m.BAvg)
+	}
+	return nil
+}
+
+// AAvg returns the reference average normalized performance
+// a_avg = (a_max − a_min)/2 (eq. 7; with a_min = 0 this is the mean of
+// the uniform spread).
+func (m Model) AAvg() units.Fraction {
+	return (m.AMax - m.AMin) / 2
+}
+
+// ReferenceEnergy returns E_ref = n·b_avg (eq. 6), in normalized units
+// (fractions of one server's peak consumption per interval).
+func (m Model) ReferenceEnergy() float64 {
+	return float64(m.N) * float64(m.BAvg)
+}
+
+// ReferenceOps returns C_ref = n·a_avg (eq. 7).
+func (m Model) ReferenceOps() float64 {
+	return float64(m.N) * float64(m.AAvg())
+}
+
+// SleepCount returns n_sleep, the number of servers the optimized
+// scenario can switch to sleep while holding the computed volume
+// constant: n_sleep = n·(1 − a_avg/a_opt) (from eq. 11).
+func (m Model) SleepCount() float64 {
+	return float64(m.N) * (1 - float64(m.AAvg())/float64(m.AOpt))
+}
+
+// OptimizedEnergy returns E_opt = (n − n_sleep)·b_opt (eq. 8).
+func (m Model) OptimizedEnergy() float64 {
+	return (float64(m.N) - m.SleepCount()) * float64(m.BOpt)
+}
+
+// OptimizedOps returns C_opt = (n − n_sleep)·a_opt (eq. 9).
+func (m Model) OptimizedOps() float64 {
+	return (float64(m.N) - m.SleepCount()) * float64(m.AOpt)
+}
+
+// EnergyRatio returns E_ref/E_opt = (a_opt/a_avg)·(b_avg/b_opt) (eq. 12).
+func (m Model) EnergyRatio() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	return float64(m.AOpt) / float64(m.AAvg()) * float64(m.BAvg) / float64(m.BOpt), nil
+}
+
+// Savings returns the fractional energy saving 1 − E_opt/E_ref.
+func (m Model) Savings() (float64, error) {
+	r, err := m.EnergyRatio()
+	if err != nil {
+		return 0, err
+	}
+	return 1 - 1/r, nil
+}

@@ -1,0 +1,123 @@
+package analytic
+
+import (
+	"ealb/internal/units"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperExampleGives225(t *testing.T) {
+	// §4: "when b_avg = 0.6, a_avg = 0.3, b_opt = 0.8, and a_opt = 0.9
+	// then E_ref/E_opt = 2.25."
+	m := PaperExample()
+	if got := float64(m.AAvg()); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("a_avg = %v, want 0.3", got)
+	}
+	r, err := m.EnergyRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-2.25) > 1e-12 {
+		t.Errorf("E_ref/E_opt = %v, want 2.25", r)
+	}
+	s, err := m.Savings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2.25 ratio → energy cut to less than half (saving 5/9 ≈ 55.6%).
+	if math.Abs(s-(1-1/2.25)) > 1e-12 {
+		t.Errorf("savings = %v", s)
+	}
+	if s <= 0.5 {
+		t.Error("paper's example must reduce energy to less than half")
+	}
+}
+
+func TestEnergyConsistency(t *testing.T) {
+	// EnergyRatio must equal ReferenceEnergy/OptimizedEnergy computed the
+	// long way through eqs. 6, 8 and 11.
+	m := PaperExample()
+	r, err := m.EnergyRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := m.ReferenceEnergy() / m.OptimizedEnergy()
+	if math.Abs(r-long) > 1e-9 {
+		t.Errorf("eq.12 ratio %v != eq.6/eq.8 ratio %v", r, long)
+	}
+}
+
+func TestComputedVolumePreserved(t *testing.T) {
+	// Eq. 11's constraint: the optimized scenario performs the same
+	// number of operations as the reference.
+	m := PaperExample()
+	if math.Abs(m.ReferenceOps()-m.OptimizedOps()) > 1e-9 {
+		t.Errorf("C_ref %v != C_opt %v", m.ReferenceOps(), m.OptimizedOps())
+	}
+}
+
+func TestSleepCount(t *testing.T) {
+	m := PaperExample()
+	// n_sleep = n(1 - 0.3/0.9) = 2n/3.
+	want := float64(m.N) * 2 / 3
+	if math.Abs(m.SleepCount()-want) > 1e-9 {
+		t.Errorf("SleepCount = %v, want %v", m.SleepCount(), want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Model{
+		{N: 0, AMin: 0, AMax: 0.6, BAvg: 0.6, AOpt: 0.9, BOpt: 0.8},
+		{N: 10, AMin: 0.6, AMax: 0.6, BAvg: 0.6, AOpt: 0.9, BOpt: 0.8},
+		{N: 10, AMin: 0, AMax: 0.6, BAvg: 0, AOpt: 0.9, BOpt: 0.8},
+		{N: 10, AMin: 0, AMax: 0.6, BAvg: 0.6, AOpt: 0.2, BOpt: 0.8}, // a_opt <= a_avg
+		{N: 10, AMin: 0, AMax: 0.6, BAvg: 0.6, AOpt: 0.9, BOpt: 0.5}, // b_opt < b_avg
+		{N: 10, AMin: 0, AMax: 1.5, BAvg: 0.6, AOpt: 0.9, BOpt: 0.8}, // a_max > 1
+		{N: 10, AMin: -0.1, AMax: 0.6, BAvg: 0.6, AOpt: 0.9, BOpt: 0.8},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid model accepted: %+v", i, m)
+		}
+	}
+	if err := PaperExample().Validate(); err != nil {
+		t.Errorf("paper example rejected: %v", err)
+	}
+}
+
+func TestRatioFormulaProperty(t *testing.T) {
+	// For every valid model the eq.12 shortcut agrees with the explicit
+	// eq.6/eq.8 computation, and the optimized scenario always performs
+	// the reference's computing volume.
+	frac := func(v uint16) float64 { return float64(v%1000) / 1000 }
+	f := func(aMaxRaw, bAvgRaw, aOptRaw, epsRaw uint16) bool {
+		m := Model{
+			N:    100,
+			AMin: 0,
+			AMax: units.Fraction(0.2 + 0.6*frac(aMaxRaw)),
+			BAvg: units.Fraction(0.3 + 0.5*frac(bAvgRaw)),
+		}
+		m.AOpt = m.AAvg() + units.Fraction(0.05+0.3*frac(aOptRaw))
+		if m.AOpt > 1 {
+			m.AOpt = 1
+		}
+		m.BOpt = m.BAvg + units.Fraction(0.15*frac(epsRaw))
+		if m.BOpt > 1 {
+			m.BOpt = 1
+		}
+		if m.Validate() != nil {
+			return true // not a valid configuration; nothing to check
+		}
+		r, err := m.EnergyRatio()
+		if err != nil {
+			return false
+		}
+		long := m.ReferenceEnergy() / m.OptimizedEnergy()
+		volumeOK := math.Abs(m.ReferenceOps()-m.OptimizedOps()) < 1e-6
+		return math.Abs(r-long) < 1e-9 && volumeOK && r > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,288 @@
+package app
+
+import (
+	"math"
+	"testing"
+
+	"ealb/internal/units"
+	"ealb/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 0.3, 0.05); err != nil {
+		t.Fatalf("valid app rejected: %v", err)
+	}
+	cases := []struct{ demand, lambda units.Fraction }{
+		{-0.1, 0.05},
+		{1.5, 0.05},
+		{0.3, 0},
+		{0.3, -0.1},
+		{0.3, 1.5},
+	}
+	for i, c := range cases {
+		if _, err := New(1, c.demand, c.lambda); err == nil {
+			t.Errorf("case %d: invalid app accepted (demand=%v lambda=%v)", i, c.demand, c.lambda)
+		}
+	}
+}
+
+func TestEvolveBoundedByLambda(t *testing.T) {
+	rng := xrand.New(1)
+	a, _ := New(1, 0.5, 0.05)
+	for i := 0; i < 10000; i++ {
+		before := a.Demand
+		delta := a.Evolve(rng, 0)
+		if a.Demand < a.MinDemand || a.Demand > 1 {
+			t.Fatalf("demand %v escaped [min,1]", a.Demand)
+		}
+		// The increase bound is the paper's λ constraint; decreases can
+		// exceed it only through the MinDemand floor (they cannot here).
+		if delta > a.Lambda+1e-12 {
+			t.Fatalf("demand rose by %v > lambda %v", delta, a.Lambda)
+		}
+		if got := a.Demand - before; math.Abs(float64(got-delta)) > 1e-12 {
+			t.Fatalf("reported delta %v != actual %v", delta, got)
+		}
+	}
+}
+
+func TestEvolveWithPositiveDriftGrows(t *testing.T) {
+	rng := xrand.New(2)
+	a, _ := New(1, 0.2, 0.02)
+	a.Reversion = 0 // isolate the drift effect
+	for i := 0; i < 200; i++ {
+		a.Evolve(rng, 0.01)
+	}
+	if a.Demand < 0.5 {
+		t.Errorf("with positive drift demand should grow substantially, got %v", a.Demand)
+	}
+}
+
+func TestEvolveMeanRevertsToBase(t *testing.T) {
+	rng := xrand.New(21)
+	a, _ := New(1, 0.3, 0.03)
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		a.Evolve(rng, 0)
+		sum += float64(a.Demand)
+	}
+	if mean := sum / n; math.Abs(mean-0.3) > 0.05 {
+		t.Errorf("long-run mean demand = %v, want ~base 0.3", mean)
+	}
+}
+
+func TestReset(t *testing.T) {
+	a, _ := New(1, 0.3, 0.05)
+	a.Provision(0.15)
+	if err := a.Reset(0.1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Demand != 0.1 || a.Base != 0.1 || a.Reserved != 0.1 {
+		t.Errorf("reset left app at %+v", a)
+	}
+	if err := a.Reset(0.001); err == nil {
+		t.Error("reset below MinDemand must error")
+	}
+	if err := a.Reset(1.5); err == nil {
+		t.Error("reset above 1 must error")
+	}
+}
+
+func TestEvolveClampsAtOne(t *testing.T) {
+	rng := xrand.New(3)
+	a, _ := New(1, 0.99, 0.05)
+	for i := 0; i < 100; i++ {
+		a.Evolve(rng, 0.05)
+		if a.Demand > 1 {
+			t.Fatalf("demand exceeded 1: %v", a.Demand)
+		}
+	}
+}
+
+func TestEvolveFloorsAtMinDemand(t *testing.T) {
+	rng := xrand.New(4)
+	a, _ := New(1, 0.02, 0.05)
+	for i := 0; i < 100; i++ {
+		a.Evolve(rng, -0.05)
+		if a.Demand < a.MinDemand {
+			t.Fatalf("demand fell below floor: %v", a.Demand)
+		}
+	}
+}
+
+func TestGrowthHeadroom(t *testing.T) {
+	a, _ := New(1, 0.5, 0.1)
+	if got := a.GrowthHeadroom(); math.Abs(float64(got)-0.6) > 1e-12 {
+		t.Errorf("GrowthHeadroom = %v, want 0.6", got)
+	}
+	b, _ := New(2, 0.95, 0.1)
+	if got := b.GrowthHeadroom(); got != 1 {
+		t.Errorf("GrowthHeadroom must clamp to 1, got %v", got)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	a, _ := New(1, 0.6, 0.05)
+	b, err := a.Split(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(a.Demand)-0.3) > 1e-12 || math.Abs(float64(b.Demand)-0.3) > 1e-12 {
+		t.Errorf("split demands = %v + %v, want 0.3 each", a.Demand, b.Demand)
+	}
+	if b.ID != 2 || b.Lambda != a.Lambda {
+		t.Error("split must assign new ID and inherit lambda")
+	}
+}
+
+func TestSplitConservesDemand(t *testing.T) {
+	rng := xrand.New(5)
+	for i := 0; i < 1000; i++ {
+		d := units.Fraction(rng.Uniform(0.1, 0.9))
+		keep := units.Fraction(rng.Uniform(0.2, 0.8))
+		a, _ := New(1, d, 0.05)
+		b, err := a.Split(2, keep)
+		if err != nil {
+			continue
+		}
+		if math.Abs(float64(a.Demand+b.Demand-d)) > 1e-9 {
+			t.Fatalf("split lost demand: %v + %v != %v", a.Demand, b.Demand, d)
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	a, _ := New(1, 0.5, 0.05)
+	for _, keep := range []units.Fraction{0, 1, -0.5, 1.5} {
+		if _, err := a.Split(2, keep); err == nil {
+			t.Errorf("keep=%v must error", keep)
+		}
+	}
+	tiny, _ := New(3, 0.015, 0.05)
+	if _, err := tiny.Split(4, 0.5); err == nil {
+		t.Error("splitting a near-minimum app must error")
+	}
+	// Failed split must not mutate demand.
+	if tiny.Demand != 0.015 {
+		t.Errorf("failed split mutated demand to %v", tiny.Demand)
+	}
+}
+
+func TestGeneratorUniqueIDsAndLambdas(t *testing.T) {
+	g, err := NewGenerator(xrand.New(6), 0.01, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenID := map[ID]bool{}
+	seenL := map[units.Fraction]bool{}
+	for i := 0; i < 1000; i++ {
+		a, err := g.Next(0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seenID[a.ID] {
+			t.Fatalf("duplicate ID %d", a.ID)
+		}
+		seenID[a.ID] = true
+		if a.Lambda < 0.01 || a.Lambda >= 0.1 {
+			t.Fatalf("lambda %v outside range", a.Lambda)
+		}
+		seenL[a.Lambda] = true
+	}
+	// "Each application has a unique λ" (§4): continuous draws collide
+	// with negligible probability.
+	if len(seenL) < 990 {
+		t.Errorf("only %d distinct lambdas in 1000 draws", len(seenL))
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	rng := xrand.New(1)
+	cases := [][2]float64{{0, 0.1}, {0.1, 0.1}, {0.2, 0.1}, {0.5, 1.5}}
+	for i, c := range cases {
+		if _, err := NewGenerator(rng, c[0], c[1]); err == nil {
+			t.Errorf("case %d: invalid range accepted %v", i, c)
+		}
+	}
+}
+
+func TestProvision(t *testing.T) {
+	a, _ := New(1, 0.3, 0.05)
+	if a.Reserved != 0.3 {
+		t.Errorf("new app reservation = %v, want demand 0.3", a.Reserved)
+	}
+	a.Provision(0.15)
+	if math.Abs(float64(a.Reserved)-0.45) > 1e-12 {
+		t.Errorf("Reserved = %v, want 0.45", a.Reserved)
+	}
+	a.Provision(-1)
+	if a.Reserved != a.Demand {
+		t.Errorf("negative slack must reserve exactly demand, got %v", a.Reserved)
+	}
+	b, _ := New(2, 0.95, 0.05)
+	b.Provision(0.2)
+	if b.Reserved != 1 {
+		t.Errorf("reservation must clamp at 1, got %v", b.Reserved)
+	}
+}
+
+func TestNeedsVerticalScale(t *testing.T) {
+	a, _ := New(1, 0.3, 0.05)
+	a.Provision(0.1)
+	if a.NeedsVerticalScale() {
+		t.Error("demand under reservation must not need scaling")
+	}
+	a.Demand = 0.45
+	if !a.NeedsVerticalScale() {
+		t.Error("demand above reservation must need scaling")
+	}
+}
+
+func TestVerticalScale(t *testing.T) {
+	a, _ := New(1, 0.3, 0.05)
+	a.Provision(0) // reserved = 0.3
+	a.Demand = 0.37
+	grew := a.VerticalScale(0.05)
+	// Rounds up to the next 0.05 multiple above the old reservation.
+	if math.Abs(float64(grew)-0.10) > 1e-9 {
+		t.Errorf("reservation grew by %v, want 0.10", grew)
+	}
+	if a.Reserved < a.Demand {
+		t.Error("reservation must cover demand after scaling")
+	}
+	if a.VerticalScale(0.05) != 0 {
+		t.Error("scaling with sufficient reservation must be a no-op")
+	}
+	// Zero quantum falls back to the default.
+	b, _ := New(2, 0.3, 0.05)
+	b.Demand = 0.32
+	if b.VerticalScale(0) <= 0 {
+		t.Error("default quantum must apply")
+	}
+}
+
+func TestSplitShrinksReservation(t *testing.T) {
+	a, _ := New(1, 0.6, 0.05)
+	a.Provision(0.2) // reserved 0.8
+	b, err := a.Split(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reserved > a.Demand+1e-12 || b.Reserved != b.Demand {
+		t.Errorf("post-split reservations = %v/%v for demands %v/%v", a.Reserved, b.Reserved, a.Demand, b.Demand)
+	}
+}
+
+func TestGeneratorNextID(t *testing.T) {
+	g, _ := NewGenerator(xrand.New(7), 0.01, 0.1)
+	a, _ := g.Next(0.2)
+	id := g.NextID()
+	if id <= a.ID {
+		t.Errorf("NextID %d must advance past %d", id, a.ID)
+	}
+	b, _ := g.Next(0.2)
+	if b.ID <= id {
+		t.Errorf("generator reused reserved ID: %d <= %d", b.ID, id)
+	}
+}

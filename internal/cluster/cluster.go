@@ -1,0 +1,459 @@
+// Package cluster implements the paper's primary contribution: the
+// leader-coordinated, energy-aware load balancing protocol for a clustered
+// cloud (§4) and the simulation experiments built on it (§5).
+//
+// A cluster is a set of heterogeneous servers joined to a leader by a star
+// network. Time advances in reallocation intervals of length τ. At the
+// end of each interval every awake server evaluates its load, classifies
+// itself into one of the five operating regions R1-R5, and reports to the
+// leader. The leader then brokers workload exchanges:
+//
+//   - R4/R5 (overloaded) servers shed VMs to R1/R2 (underloaded) servers;
+//   - R1 servers that stay underloaded hand their entire workload to other
+//     underloaded servers and switch to a sleep state (consolidation);
+//   - when an R5 server finds no relief target the leader wakes sleeping
+//     servers;
+//   - the sleep state is C6 when total cluster load is below 60% of
+//     capacity and C3 otherwise (§6's rule: deep sleep only when extra
+//     capacity is unlikely to be needed soon).
+//
+// Application demand evolves at a bounded rate (λ per interval). Demand
+// growth absorbed on the local server is a low-cost vertical scaling
+// decision; growth that must move to another server is a high-cost
+// in-cluster decision. The per-interval ratio of the two is the statistic
+// of Figure 3 and Table 2.
+package cluster
+
+import (
+	"fmt"
+
+	"ealb/internal/app"
+	"ealb/internal/eventsim"
+	"ealb/internal/migration"
+	"ealb/internal/netsim"
+	"ealb/internal/power"
+	"ealb/internal/regime"
+	"ealb/internal/scaling"
+	"ealb/internal/server"
+	"ealb/internal/units"
+	"ealb/internal/vm"
+	"ealb/internal/workload"
+	"ealb/internal/xrand"
+)
+
+// SleepPolicy selects which sleep states consolidation may use.
+type SleepPolicy int
+
+// Sleep policies.
+const (
+	// SleepAuto applies the paper's 60% rule: C6 below 60% cluster load,
+	// C3 at or above it (§6).
+	SleepAuto SleepPolicy = iota
+	// SleepC3Only always parks servers in C3 (fast wake, higher draw).
+	SleepC3Only
+	// SleepC6Only always parks servers in C6 (slow wake, lowest draw).
+	SleepC6Only
+	// SleepNever disables consolidation: the wasteful always-on baseline
+	// of §3.
+	SleepNever
+)
+
+// String implements fmt.Stringer.
+func (p SleepPolicy) String() string {
+	switch p {
+	case SleepAuto:
+		return "auto(60%-rule)"
+	case SleepC3Only:
+		return "c3-only"
+	case SleepC6Only:
+		return "c6-only"
+	case SleepNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SleepPolicy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a cluster simulation. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// Size is the number of servers (the paper sweeps 10^2, 10^3, 10^4).
+	Size int
+	// Seed makes the whole simulation reproducible.
+	Seed uint64
+	// Tau is the reallocation interval τ (§4).
+	Tau units.Seconds
+	// InitialLoad is the band initial server loads are drawn from.
+	InitialLoad workload.Band
+	// AppSize bounds individual application demands.
+	AppSize [2]float64
+	// Lambda bounds the per-application demand change rate λ per interval.
+	Lambda [2]float64
+	// ChangeProb is the probability an application's demand changes in a
+	// given interval.
+	ChangeProb float64
+	// ResetProb is the per-interval probability an application restarts
+	// at a fresh right-sized demand level, releasing its accumulated
+	// reservation (what keeps vertical-scaling activity alive in steady
+	// state).
+	ResetProb float64
+	// Drift biases demand evolution (0 = stationary workload).
+	Drift float64
+	// PeakPower and IdleFraction define each server's linear power model.
+	PeakPower    units.Watts
+	IdleFraction float64
+	// PeakPowerSpread makes the fleet heterogeneous in hardware as well
+	// as in regime boundaries: each server's peak is drawn uniformly
+	// from PeakPower×[1−spread, 1+spread]. Zero (the default) keeps the
+	// fleet's hardware uniform so energy results are easy to reason
+	// about; the §4 heterogeneous model is exercised via the boundaries
+	// either way.
+	PeakPowerSpread float64
+	// Migration prices VM moves; Net prices control traffic.
+	Migration migration.Params
+	Net       netsim.Params
+	// Sleep selects the consolidation sleep policy.
+	Sleep SleepPolicy
+	// SleepHysteresis is how many consecutive intervals a server must
+	// spend in R1 before consolidation may empty it.
+	SleepHysteresis int
+	// ConsolidationBudget caps how many servers the leader may empty and
+	// put to sleep per interval (the leader's negotiation capacity).
+	// Zero means no cap.
+	ConsolidationBudget int
+	// ConservativeConsolidation restricts consolidation acceptors to
+	// remain within R1/R2 (load ≤ α^opt,l) instead of filling them to the
+	// optimal region's upper edge. Matching becomes much harder, which
+	// reproduces the very small sleep counts of the paper's Table 2; the
+	// default (false) consolidates to the paper's stated objective — the
+	// smallest set of servers at optimal load.
+	ConservativeConsolidation bool
+	// MaxReservationSlack caps the CPU headroom provisioned above an
+	// application's demand at placement time; vertical scaling (a local
+	// decision) is needed only once demand outgrows the reservation.
+	MaxReservationSlack float64
+	// SlackBase and SlackFactor set the provisioning slack formula
+	// base + factor × freeCapacity/numApps: servers packed tight (high
+	// load) grant little headroom, lightly loaded servers grant more.
+	SlackBase   float64
+	SlackFactor float64
+	// ReservationQuantum is the step hypervisor CPU reservations grow in.
+	ReservationQuantum float64
+	// Ranges are the regime-boundary sampling intervals.
+	Ranges regime.PaperRanges
+}
+
+// DefaultConfig returns the §5 experiment parameterization for a cluster
+// of the given size and initial load band.
+func DefaultConfig(size int, band workload.Band, seed uint64) Config {
+	return Config{
+		Size:                size,
+		Seed:                seed,
+		Tau:                 60,
+		InitialLoad:         band,
+		AppSize:             [2]float64{0.05, 0.15},
+		Lambda:              [2]float64{0.01, 0.05},
+		ChangeProb:          0.5,
+		ResetProb:           0.005,
+		Drift:               0,
+		PeakPower:           200,
+		IdleFraction:        0.5,
+		Migration:           migration.DefaultParams(),
+		Net:                 netsim.DefaultParams(),
+		Sleep:               SleepAuto,
+		SleepHysteresis:     0,
+		ConsolidationBudget: max(1, size/50),
+		MaxReservationSlack: 0.15,
+		SlackBase:           0.03,
+		SlackFactor:         0.4,
+		ReservationQuantum:  0.05,
+		Ranges:              regime.DefaultRanges(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Size <= 1 {
+		return fmt.Errorf("cluster: size %d must exceed 1", c.Size)
+	}
+	if c.Tau <= 0 {
+		return fmt.Errorf("cluster: non-positive reallocation interval %v", c.Tau)
+	}
+	if err := c.InitialLoad.Validate(); err != nil {
+		return err
+	}
+	if c.AppSize[0] <= 0 || c.AppSize[1] <= c.AppSize[0] || c.AppSize[1] > 1 {
+		return fmt.Errorf("cluster: invalid app size range %v", c.AppSize)
+	}
+	if c.Lambda[0] <= 0 || c.Lambda[1] <= c.Lambda[0] || c.Lambda[1] > 1 {
+		return fmt.Errorf("cluster: invalid lambda range %v", c.Lambda)
+	}
+	if c.ChangeProb < 0 || c.ChangeProb > 1 {
+		return fmt.Errorf("cluster: change probability %v outside [0,1]", c.ChangeProb)
+	}
+	if c.ResetProb < 0 || c.ResetProb > 1 {
+		return fmt.Errorf("cluster: reset probability %v outside [0,1]", c.ResetProb)
+	}
+	if c.PeakPower <= 0 || c.IdleFraction < 0 || c.IdleFraction >= 1 {
+		return fmt.Errorf("cluster: invalid power parameters peak=%v idle=%v", c.PeakPower, c.IdleFraction)
+	}
+	if c.PeakPowerSpread < 0 || c.PeakPowerSpread >= 1 {
+		return fmt.Errorf("cluster: peak power spread %v outside [0,1)", c.PeakPowerSpread)
+	}
+	if c.SleepHysteresis < 0 || c.ConsolidationBudget < 0 {
+		return fmt.Errorf("cluster: negative hysteresis or budget")
+	}
+	if c.MaxReservationSlack < 0 || c.MaxReservationSlack > 1 {
+		return fmt.Errorf("cluster: reservation slack %v outside [0,1]", c.MaxReservationSlack)
+	}
+	if c.SlackBase < 0 || c.SlackFactor < 0 {
+		return fmt.Errorf("cluster: negative slack parameters")
+	}
+	if c.ReservationQuantum <= 0 || c.ReservationQuantum > 1 {
+		return fmt.Errorf("cluster: reservation quantum %v outside (0,1]", c.ReservationQuantum)
+	}
+	if err := c.Migration.Validate(); err != nil {
+		return err
+	}
+	return c.Net.Validate()
+}
+
+// Cluster is one simulated cluster plus its leader state.
+type Cluster struct {
+	cfg Config
+
+	servers []*server.Server
+	net     *netsim.Network
+	rng     *xrand.Rand
+	appGen  *app.Generator
+	ledger  *scaling.Ledger
+	sim     *eventsim.Simulator
+
+	now      units.Seconds
+	interval int
+	// wakesCompleted counts wake transitions whose completion event has
+	// fired (a woken server is only usable once its setup finishes).
+	wakesCompleted int
+
+	// r1Streak counts consecutive intervals each server ended in R1;
+	// r4Streak does the same for R4. The streaks implement the paper's
+	// urgency distinction: suboptimal and low-undesirable conditions are
+	// acted on only when they persist, undesirable-high immediately.
+	r1Streak []int
+	r4Streak []int
+
+	migrationEnergy    units.Joules
+	migrations         int
+	intervalMigrations int
+	totalWakes         int
+	nextVMID           vm.ID
+
+	// failed tracks crashed servers (failure-injection extension) and
+	// failures counts injections cumulatively.
+	failed   map[server.ID]bool
+	failures int
+}
+
+// New builds and populates a cluster: per-server regime boundaries drawn
+// from the configured ranges, per-server initial loads from the band,
+// decomposed into applications with unique λ, each in its own VM.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := xrand.New(cfg.Seed)
+	boundsRNG := root.Split()
+	loadRNG := root.Split()
+	appRNG := root.Split()
+	evolveRNG := root.Split()
+
+	net, err := netsim.New(cfg.Size, cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := app.NewGenerator(appRNG.Split(), cfg.Lambda[0], cfg.Lambda[1])
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{
+		cfg:      cfg,
+		net:      net,
+		rng:      evolveRNG,
+		appGen:   gen,
+		ledger:   scaling.NewLedger(),
+		sim:      eventsim.New(),
+		r1Streak: make([]int, cfg.Size),
+		r4Streak: make([]int, cfg.Size),
+		nextVMID: 1,
+		failed:   make(map[server.ID]bool),
+	}
+
+	loads, err := workload.InitialLoads(loadRNG, cfg.Size, cfg.InitialLoad)
+	if err != nil {
+		return nil, err
+	}
+
+	msgE := units.Joules(float64(netsim.ControlMsgSize) * float64(cfg.Net.EnergyPerByte))
+	for i := 0; i < cfg.Size; i++ {
+		bounds, err := cfg.Ranges.Random(boundsRNG)
+		if err != nil {
+			return nil, err
+		}
+		peak := cfg.PeakPower
+		if cfg.PeakPowerSpread > 0 {
+			peak = units.Watts(boundsRNG.Uniform(
+				float64(cfg.PeakPower)*(1-cfg.PeakPowerSpread),
+				float64(cfg.PeakPower)*(1+cfg.PeakPowerSpread)))
+		}
+		pm, err := power.NewLinear(units.Watts(float64(peak)*cfg.IdleFraction), peak)
+		if err != nil {
+			return nil, err
+		}
+		s, err := server.New(server.Config{
+			ID:                 server.ID(i),
+			Boundaries:         bounds,
+			Power:              pm,
+			Migration:          cfg.Migration,
+			ControlMsgEnergy:   msgE,
+			VerticalCostEnergy: 0.5,
+		})
+		if err != nil {
+			return nil, err
+		}
+		apps, err := workload.PopulateApps(appRNG, gen, loads[i], cfg.AppSize[0], cfg.AppSize[1])
+		if err != nil {
+			return nil, err
+		}
+		// Provision each VM with a share of the server's free capacity as
+		// reservation slack: generous on lightly packed servers, tight on
+		// full ones. This is what makes vertical scaling kick in after
+		// ~20 intervals at 30% load but within ~5 at 70% (Figure 3).
+		var placedLoad units.Fraction
+		for _, a := range apps {
+			placedLoad += a.Demand
+		}
+		slack := 0.0
+		if len(apps) > 0 {
+			slack = cfg.SlackBase + cfg.SlackFactor*float64(1-placedLoad)/float64(len(apps))
+			if slack > cfg.MaxReservationSlack {
+				slack = cfg.MaxReservationSlack
+			}
+		}
+		for _, a := range apps {
+			a.Provision(units.Fraction(slack))
+			h, err := c.newHosted(a, appRNG)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.Place(h, 0); err != nil {
+				return nil, err
+			}
+		}
+		c.servers = append(c.servers, s)
+	}
+	return c, nil
+}
+
+// newHosted wraps an application in a freshly provisioned running VM.
+func (c *Cluster) newHosted(a *app.App, rng *xrand.Rand) (server.Hosted, error) {
+	mem := units.Bytes(1+rng.Intn(3)) * units.GB
+	v, err := vm.New(c.nextVMID, vm.Config{
+		Memory:    mem,
+		ImageSize: 2 * mem,
+		CPUShare:  a.Demand,
+		DirtyRate: units.Bytes(10+rng.Intn(40)) * units.MB,
+	})
+	if err != nil {
+		return server.Hosted{}, err
+	}
+	c.nextVMID++
+	if err := v.SetState(vm.Running); err != nil {
+		return server.Hosted{}, err
+	}
+	return server.Hosted{App: a, VM: v}, nil
+}
+
+// Servers returns the cluster members (shared, not a copy; callers must
+// not mutate).
+func (c *Cluster) Servers() []*server.Server { return c.servers }
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Now returns the current simulation time.
+func (c *Cluster) Now() units.Seconds { return c.now }
+
+// Interval returns how many reallocation intervals have completed.
+func (c *Cluster) Interval() int { return c.interval }
+
+// SleepingCount returns how many servers are currently in a sleep state.
+func (c *Cluster) SleepingCount() int {
+	n := 0
+	for _, s := range c.servers {
+		if s.Sleeping() {
+			n++
+		}
+	}
+	return n
+}
+
+// ClusterLoad returns total hosted load divided by total capacity —
+// the quantity the 60% sleep rule tests.
+func (c *Cluster) ClusterLoad() units.Fraction {
+	var sum float64
+	for _, s := range c.servers {
+		sum += float64(s.Load())
+	}
+	return units.Fraction(sum / float64(len(c.servers)))
+}
+
+// RegimeCounts classifies the awake servers into the five regions
+// (index 0 = R1). Sleeping and failed servers are excluded — they are
+// reported separately, as in Table 2.
+func (c *Cluster) RegimeCounts() [5]int {
+	var out [5]int
+	for _, s := range c.servers {
+		if s.Sleeping() || c.failed[s.ID()] {
+			continue
+		}
+		out[s.Regime()-regime.R1]++
+	}
+	return out
+}
+
+// TotalEnergy returns the cluster-wide energy account: server draw
+// (including ACPI transitions), migration costs, control-plane transfer
+// energy, and the always-on link idle draw.
+func (c *Cluster) TotalEnergy() units.Joules {
+	var e units.Joules
+	for _, s := range c.servers {
+		e += s.Energy()
+	}
+	e += c.migrationEnergy
+	e += c.net.TotalCounters().Energy
+	e += c.net.IdleEnergy(c.now)
+	return e
+}
+
+// Migrations returns the cumulative number of VM migrations performed.
+func (c *Cluster) Migrations() int { return c.migrations }
+
+// Wakes returns the cumulative number of servers woken by the leader.
+func (c *Cluster) Wakes() int { return c.totalWakes }
+
+// WakesCompleted returns how many of those wake transitions have
+// finished (the server is operational again). A wake from C6 spans
+// several reallocation intervals, so this lags Wakes just after a
+// wake-up storm.
+func (c *Cluster) WakesCompleted() int { return c.wakesCompleted }
+
+// Ledger exposes the scaling-decision ledger.
+func (c *Cluster) Ledger() *scaling.Ledger { return c.ledger }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+
+	"ealb/internal/scaling"
+	"ealb/internal/server"
+)
+
+// Failure injection. §1 lists fault resilience among load balancing's
+// original goals; this extension lets experiments crash servers and watch
+// the leader re-place the lost workload. A failed server draws no power,
+// takes no part in the protocol, and rejoins empty (in C0) after Repair.
+
+// FailServer crashes a server at the current simulation time. Its hosted
+// applications are re-placed on surviving servers by the leader — each
+// re-placement is an in-cluster decision and a migration (the VM restarts
+// from its image on the target). Applications that fit nowhere are
+// dropped and reported; the caller decides whether that is an SLA
+// catastrophe or acceptable loss.
+func (c *Cluster) FailServer(id server.ID) (replaced, lost int, err error) {
+	s, err := c.serverByID(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	if c.failed[id] {
+		return 0, 0, fmt.Errorf("cluster: server %d already failed", id)
+	}
+	// Close the energy account at the crash instant; afterwards the
+	// server draws nothing.
+	if !s.Sleeping() {
+		if _, err := s.AccountTo(c.now); err != nil {
+			return 0, 0, err
+		}
+	}
+	c.failed[id] = true
+	c.failures++
+
+	// Orphaned workload: the leader re-places what it can.
+	for _, h := range s.Hosted() {
+		dst := c.findAcceptor(h.App.Demand, s, acceptToOptHigh)
+		if dst == nil {
+			dst = c.findAcceptor(h.App.Demand, s, acceptToSoptHigh)
+		}
+		if dst == nil {
+			if _, err := s.Remove(h.App.ID); err != nil {
+				return replaced, lost, err
+			}
+			lost++
+			continue
+		}
+		// Restarting on the target: the VM image is shipped and booted,
+		// priced like a live migration of the resident set (the state is
+		// gone; the image and a fresh boot replace it — comparable
+		// volume, and it keeps the cost model uniform).
+		if err := c.migrate(s, dst, h); err != nil {
+			return replaced, lost, err
+		}
+		c.ledger.Record(scaling.Horizontal, 1)
+		replaced++
+	}
+	return replaced, lost, nil
+}
+
+// Repair returns a failed server to service: powered on, empty, in C0.
+// The powered-off gap is skipped in its energy account.
+func (c *Cluster) Repair(id server.ID) error {
+	s, err := c.serverByID(id)
+	if err != nil {
+		return err
+	}
+	if !c.failed[id] {
+		return fmt.Errorf("cluster: server %d is not failed", id)
+	}
+	if err := s.SkipTo(c.now); err != nil {
+		return err
+	}
+	delete(c.failed, id)
+	return nil
+}
+
+// Failed reports whether a server is currently failed.
+func (c *Cluster) Failed(id server.ID) bool { return c.failed[id] }
+
+// FailedCount returns the number of currently failed servers.
+func (c *Cluster) FailedCount() int { return len(c.failed) }
+
+// Failures returns the cumulative number of injected failures.
+func (c *Cluster) Failures() int { return c.failures }
+
+func (c *Cluster) serverByID(id server.ID) (*server.Server, error) {
+	if int(id) < 0 || int(id) >= len(c.servers) {
+		return nil, fmt.Errorf("cluster: no server %d in cluster of %d", id, len(c.servers))
+	}
+	return c.servers[int(id)], nil
+}
+
+// active reports whether a server takes part in the protocol right now.
+func (c *Cluster) active(s *server.Server) bool {
+	return !c.failed[s.ID()] && !s.Sleeping() && !s.CStateBusy(c.now)
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"testing"
+
+	"ealb/internal/server"
+	"ealb/internal/workload"
+)
+
+func TestFailServerReplacesWorkload(t *testing.T) {
+	c := mustCluster(t, 100, workload.LowLoad(), 51)
+	appsBefore := 0
+	for _, s := range c.Servers() {
+		appsBefore += s.NumApps()
+	}
+	victim := c.Servers()[3]
+	victimApps := victim.NumApps()
+	if victimApps == 0 {
+		t.Fatal("victim hosts nothing; pick another seed")
+	}
+
+	replaced, lost, err := c.FailServer(victim.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replaced+lost != victimApps {
+		t.Errorf("replaced %d + lost %d != victim's %d apps", replaced, lost, victimApps)
+	}
+	// At 30% load every orphan finds a home.
+	if lost != 0 {
+		t.Errorf("%d apps lost at low load", lost)
+	}
+	if victim.NumApps() != 0 {
+		t.Error("failed server still hosts apps")
+	}
+	appsAfter := 0
+	for _, s := range c.Servers() {
+		appsAfter += s.NumApps()
+	}
+	if appsAfter != appsBefore-lost {
+		t.Errorf("app conservation broken: %d -> %d (lost %d)", appsBefore, appsAfter, lost)
+	}
+	if !c.Failed(victim.ID()) || c.FailedCount() != 1 || c.Failures() != 1 {
+		t.Error("failure bookkeeping wrong")
+	}
+}
+
+func TestFailedServerExcludedFromProtocol(t *testing.T) {
+	c := mustCluster(t, 80, workload.LowLoad(), 53)
+	victim := c.Servers()[0]
+	if _, _, err := c.FailServer(victim.ID()); err != nil {
+		t.Fatal(err)
+	}
+	countsBefore := c.RegimeCounts()
+	total := 0
+	for _, n := range countsBefore {
+		total += n
+	}
+	if total+c.SleepingCount()+c.FailedCount() != 80 {
+		t.Errorf("partition with failures broken: %d awake, %d sleeping, %d failed",
+			total, c.SleepingCount(), c.FailedCount())
+	}
+	// The cluster keeps running; no app ever lands on the failed server.
+	if _, err := c.RunIntervals(10); err != nil {
+		t.Fatal(err)
+	}
+	if victim.NumApps() != 0 {
+		t.Error("apps were placed on a failed server")
+	}
+	// The failed server's energy account froze at the crash.
+	eAtCrash := victim.Energy()
+	if _, err := c.RunIntervals(5); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Energy() != eAtCrash {
+		t.Errorf("failed server kept drawing power: %v -> %v", eAtCrash, victim.Energy())
+	}
+}
+
+func TestRepairReturnsServerToService(t *testing.T) {
+	c := mustCluster(t, 80, workload.LowLoad(), 55)
+	victim := c.Servers()[5]
+	if _, _, err := c.FailServer(victim.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunIntervals(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Repair(victim.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Failed(victim.ID()) || c.FailedCount() != 0 {
+		t.Error("repair bookkeeping wrong")
+	}
+	// The repaired server can host again.
+	if _, err := c.RunIntervals(10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailureErrors(t *testing.T) {
+	c := mustCluster(t, 40, workload.LowLoad(), 57)
+	if _, _, err := c.FailServer(server.ID(99)); err == nil {
+		t.Error("unknown server must error")
+	}
+	if err := c.Repair(server.ID(99)); err == nil {
+		t.Error("repairing unknown server must error")
+	}
+	if err := c.Repair(server.ID(0)); err == nil {
+		t.Error("repairing a healthy server must error")
+	}
+	if _, _, err := c.FailServer(server.ID(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.FailServer(server.ID(0)); err == nil {
+		t.Error("double failure must error")
+	}
+}
+
+func TestMassFailureUnderHighLoadLosesApps(t *testing.T) {
+	// At 70% load with half the cluster failed there is nowhere to put
+	// the orphans: losses must be reported, not silently dropped.
+	c := mustCluster(t, 40, workload.HighLoad(), 59)
+	totalLost := 0
+	for i := 0; i < 20; i++ {
+		_, lost, err := c.FailServer(server.ID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalLost += lost
+	}
+	if totalLost == 0 {
+		t.Error("mass failure at high load must lose some apps")
+	}
+	// Cluster still simulates.
+	if _, err := c.RunIntervals(5); err != nil {
+		t.Fatal(err)
+	}
+}

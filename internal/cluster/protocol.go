@@ -1,0 +1,612 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"ealb/internal/acpi"
+	"ealb/internal/migration"
+	"ealb/internal/netsim"
+	"ealb/internal/regime"
+	"ealb/internal/scaling"
+	"ealb/internal/server"
+	"ealb/internal/units"
+	"ealb/internal/vm"
+)
+
+// IntervalStats summarizes one completed reallocation interval.
+type IntervalStats struct {
+	Index   int
+	EndTime units.Seconds
+	// Regimes counts awake servers per region (index 0 = R1) at the end
+	// of the interval, after balancing.
+	Regimes  [5]int
+	Sleeping int
+	Woken    int
+	// Decisions are the interval's scaling decisions; Ratio is the
+	// in-cluster/local ratio plotted in Figure 3.
+	Decisions scaling.Counts
+	Ratio     float64
+	// Migrations counts VM moves performed this interval.
+	Migrations int
+	// SLAViolations counts servers whose raw demand exceeded capacity.
+	SLAViolations int
+	ClusterLoad   units.Fraction
+	// IntervalEnergy is the energy spent during this interval.
+	IntervalEnergy units.Joules
+	// AvgQCost, AvgPCost and AvgJCost are the fleet averages of the §4
+	// per-server cost evaluations for the next interval: horizontal
+	// scaling q_k(t+τ), vertical scaling p_k(t+τ), and leader
+	// communication j_k(t+τ).
+	AvgQCost units.Joules
+	AvgPCost units.Joules
+	AvgJCost units.Joules
+}
+
+// candidateSample bounds the leader's candidate list per placement query —
+// the scalability requirement of §3 (the leader cannot scan 10^4 servers
+// for every growing application).
+const candidateSample = 32
+
+// maxShedsPerDonor caps migrations out of one overloaded server per
+// interval, so a pathological server cannot monopolize the leader.
+const maxShedsPerDonor = 5
+
+// RunIntervals advances the simulation by n reallocation intervals and
+// returns per-interval statistics. The intervals run as ticker events on
+// the discrete-event kernel, interleaved with any pending asynchronous
+// events (wake-transition completions scheduled by earlier intervals).
+func (c *Cluster) RunIntervals(n int) ([]IntervalStats, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: non-positive interval count %d", n)
+	}
+	out := make([]IntervalStats, 0, n)
+	var runErr error
+	end := c.now + units.Seconds(n)*c.cfg.Tau
+	tick := c.sim.Every(c.now+c.cfg.Tau, c.cfg.Tau, func(now units.Seconds) {
+		st, err := c.runInterval(now)
+		if err != nil {
+			runErr = err
+			c.sim.Stop()
+			return
+		}
+		out = append(out, st)
+	})
+	c.sim.RunUntil(end)
+	tick.Stop()
+	return out, runErr
+}
+
+// runInterval executes one full reallocation interval at its end time
+// now: account energy, evolve demand (handling growth), run the leader
+// protocol, and collect statistics.
+func (c *Cluster) runInterval(now units.Seconds) (IntervalStats, error) {
+	e0 := c.TotalEnergy()
+	c.now = now
+	c.interval++
+
+	// Servers ran at their previous loads for the whole interval; failed
+	// servers draw nothing and skip the gap.
+	for _, s := range c.servers {
+		if c.failed[s.ID()] {
+			if err := s.SkipTo(c.now); err != nil {
+				return IntervalStats{}, err
+			}
+			continue
+		}
+		if _, err := s.AccountTo(c.now); err != nil {
+			return IntervalStats{}, err
+		}
+	}
+
+	if err := c.evolveDemand(); err != nil {
+		return IntervalStats{}, err
+	}
+
+	woken, err := c.balance()
+	if err != nil {
+		return IntervalStats{}, err
+	}
+
+	// Update regime streaks for the hysteresis rules.
+	for i, s := range c.servers {
+		active := c.active(s)
+		if active && s.Regime() == regime.R1 {
+			c.r1Streak[i]++
+		} else {
+			c.r1Streak[i] = 0
+		}
+		if active && s.Regime() == regime.R4 {
+			c.r4Streak[i]++
+		} else {
+			c.r4Streak[i] = 0
+		}
+	}
+
+	st := IntervalStats{
+		Index:       c.interval,
+		EndTime:     c.now,
+		Regimes:     c.RegimeCounts(),
+		Sleeping:    c.SleepingCount(),
+		Woken:       woken,
+		ClusterLoad: c.ClusterLoad(),
+	}
+	for _, s := range c.servers {
+		if !s.Sleeping() && s.RawDemand() > 1+1e-9 {
+			st.SLAViolations++
+		}
+	}
+	st.Decisions = c.ledger.CloseInterval()
+	st.Ratio = st.Decisions.Ratio()
+	st.Migrations = c.intervalMigrations
+	c.intervalMigrations = 0
+	st.IntervalEnergy = c.TotalEnergy() - e0
+
+	// The §4 end-of-interval cost evaluations (q_k, p_k, j_k), averaged
+	// over the active fleet.
+	var q, p, j float64
+	n := 0
+	for _, s := range c.servers {
+		if !c.active(s) {
+			continue
+		}
+		ev, err := s.Evaluate()
+		if err != nil {
+			return IntervalStats{}, err
+		}
+		q += float64(ev.QCost)
+		p += float64(ev.PCost)
+		j += float64(ev.JCost)
+		n++
+	}
+	if n > 0 {
+		st.AvgQCost = units.Joules(q / float64(n))
+		st.AvgPCost = units.Joules(p / float64(n))
+		st.AvgJCost = units.Joules(j / float64(n))
+	}
+	return st, nil
+}
+
+// evolveDemand advances every hosted application's demand and routes
+// growth: absorbed locally (vertical, low-cost) when the server stays out
+// of the overload regions, moved in-cluster (horizontal, high-cost) when
+// the server is overloaded and a target exists, and absorbed locally as a
+// last resort when it does not.
+func (c *Cluster) evolveDemand() error {
+	for _, s := range c.servers {
+		if !c.active(s) {
+			continue
+		}
+		for _, h := range s.Hosted() {
+			if c.rng.Bool(c.cfg.ResetProb) {
+				// Application restart/right-sizing: fresh demand and a
+				// tight reservation, releasing accumulated headroom.
+				// Re-provisioning the VM is a local vertical-scaling
+				// action, so it counts as a low-cost local decision.
+				fresh := units.Fraction(c.rng.Uniform(c.cfg.AppSize[0], c.cfg.AppSize[1]))
+				if err := h.App.Reset(fresh); err != nil {
+					return err
+				}
+				h.App.Provision(units.Fraction(c.cfg.ReservationQuantum / 2))
+				c.ledger.Record(scaling.Vertical, 1)
+				continue
+			}
+			if !c.rng.Bool(c.cfg.ChangeProb) {
+				continue
+			}
+			delta := h.App.Evolve(c.rng, c.cfg.Drift)
+			if delta <= 0 {
+				// Demand fell: release over-reservation (scale-down is
+				// the other half of local vertical elasticity).
+				if h.App.VerticalShrink(units.Fraction(c.cfg.ReservationQuantum)) > 0 {
+					c.ledger.Record(scaling.Vertical, 1)
+				}
+				continue
+			}
+			if err := c.routeGrowth(s, h); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// routeGrowth decides the scaling path for one application growth event.
+//
+// Growth under the VM's reservation costs nothing. Growth beyond the
+// reservation on a server that is not overloaded is absorbed by a local
+// vertical scaling action (low cost). Growth on an overloaded (R4/R5)
+// server must move in-cluster — but only if a target exists that stays
+// within its optimal region; when acceptors have saturated (sustained
+// high load) the growth is absorbed locally as a last resort, which is
+// what makes local decisions dominant after a few intervals at 70% load.
+func (c *Cluster) routeGrowth(s *server.Server, h server.Hosted) error {
+	if s.Regime().Overloaded() {
+		if dst := c.findAcceptor(h.App.Demand, s, acceptToOptHigh); dst != nil {
+			if err := c.migrate(s, dst, h); err != nil {
+				return err
+			}
+			c.ledger.Record(scaling.Horizontal, 1)
+			return nil
+		}
+	}
+	if h.App.NeedsVerticalScale() {
+		h.App.VerticalScale(units.Fraction(c.cfg.ReservationQuantum))
+		c.ledger.Record(scaling.Vertical, 1)
+	}
+	return nil
+}
+
+// acceptLimit selects which boundary an acceptor may be filled to.
+type acceptLimit int
+
+const (
+	// acceptToOptLow keeps the acceptor inside R1/R2 — the conservative
+	// consolidation reading of §4 step 1 ("transfer its own workload to
+	// servers operating in the R1 or R2 regimes").
+	acceptToOptLow acceptLimit = iota
+	// acceptToOptMid fills the acceptor only to the middle of its optimal
+	// region, leaving headroom so demand fluctuation does not immediately
+	// tip it into R4 (used when deliberately packing during
+	// consolidation).
+	acceptToOptMid
+	// acceptToOptHigh fills the acceptor up to the optimal region's top.
+	acceptToOptHigh
+	// acceptToSoptHigh tolerates suboptimal-high acceptors (emergency
+	// placements only).
+	acceptToSoptHigh
+)
+
+// acceptMargin keeps acceptors a little below the R3/R4 boundary so that
+// ordinary demand fluctuation in the next interval does not immediately
+// tip a freshly filled acceptor into R4 (which would re-shed the load —
+// ping-pong churn).
+const acceptMargin = 0.04
+
+// bound returns the load limit the acceptor must stay under.
+func (l acceptLimit) bound(dst *server.Server) units.Fraction {
+	switch l {
+	case acceptToOptLow:
+		return dst.Boundaries().OptLow
+	case acceptToOptMid:
+		return dst.Boundaries().OptimalTarget()
+	case acceptToSoptHigh:
+		return dst.Boundaries().SoptHigh
+	default:
+		return dst.Boundaries().OptHigh - acceptMargin
+	}
+}
+
+// fits reports whether dst can take demand without crossing the limit.
+func fits(dst *server.Server, demand units.Fraction, limit acceptLimit) bool {
+	return dst.Load()+demand <= limit.bound(dst)
+}
+
+// findAcceptor samples a bounded candidate list (the leader's
+// MsgCandidateList) and returns the best-fitting eligible server: the
+// most loaded one that still fits, concentrating load per the paper's
+// reformulated load balancing goal. Returns nil when no candidate fits.
+func (c *Cluster) findAcceptor(demand units.Fraction, exclude *server.Server, limit acceptLimit) *server.Server {
+	var best *server.Server
+	for i := 0; i < candidateSample; i++ {
+		cand := c.servers[c.rng.Intn(len(c.servers))]
+		if cand == exclude || !c.active(cand) {
+			continue
+		}
+		if !fits(cand, demand, limit) {
+			continue
+		}
+		if best == nil || cand.Load() > best.Load() {
+			best = cand
+		}
+	}
+	return best
+}
+
+// migrate moves one hosted application from src to dst, charging the
+// migration cost model and the control-plane messages.
+func (c *Cluster) migrate(src, dst *server.Server, h server.Hosted) error {
+	if _, err := src.Remove(h.App.ID); err != nil {
+		return err
+	}
+	// The VM's CPU share follows current demand so the volume moved
+	// reflects the load being moved.
+	h.VM.CPUShare = h.App.Demand
+	if err := h.VM.SetState(vm.Migrating); err != nil {
+		return err
+	}
+	res, err := migration.Live(h.VM, c.cfg.Migration)
+	if err != nil {
+		return err
+	}
+	c.migrationEnergy += res.Energy
+	if err := h.VM.SetState(vm.Running); err != nil {
+		return err
+	}
+	if err := dst.Place(h, c.now); err != nil {
+		return err
+	}
+	c.migrations++
+	c.intervalMigrations++
+	// Negotiation and plan messages (src↔dst direct, per §4's "negotiates
+	// directly with the potential partners").
+	if _, err := c.net.Send(netsim.NodeID(src.ID()), netsim.NodeID(dst.ID()), netsim.MsgMigrationPlan, netsim.ControlMsgSize); err != nil {
+		return err
+	}
+	return nil
+}
+
+// balance runs the leader's end-of-interval protocol (§4): regime
+// reports, overload relief, wake-ups, and consolidation-to-sleep. It
+// returns how many sleeping servers were woken.
+func (c *Cluster) balance() (int, error) {
+	// Step 1: every awake server reports its regime to the leader.
+	awake := make([]*server.Server, 0, len(c.servers))
+	for _, s := range c.servers {
+		if !c.active(s) {
+			continue
+		}
+		awake = append(awake, s)
+		if _, err := c.net.Send(netsim.NodeID(s.ID()), netsim.LeaderNode, netsim.MsgRegimeReport, netsim.ControlMsgSize); err != nil {
+			return 0, err
+		}
+	}
+
+	woken, err := c.relieveOverload(awake)
+	if err != nil {
+		return woken, err
+	}
+	if c.cfg.Sleep != SleepNever {
+		if err := c.consolidate(awake); err != nil {
+			return woken, err
+		}
+	}
+	return woken, nil
+}
+
+// relieveOverload migrates load off R4/R5 servers onto R1/R2 servers.
+// R5 servers that find no target cause the leader to wake a sleeping
+// server (§4 step 5).
+func (c *Cluster) relieveOverload(awake []*server.Server) (int, error) {
+	var donors, acceptors []*server.Server
+	for _, s := range awake {
+		switch {
+		case s.Regime() == regime.R5:
+			// Undesirable-high: immediate attention (§4).
+			donors = append(donors, s)
+		case s.Regime() == regime.R4 && (s.Excess() >= 0.05 || c.r4Streak[s.ID()] >= 2):
+			// Suboptimal-high "does not require immediate attention"
+			// (§4): act when the deviation is large or has persisted —
+			// the paper notes the time spent in a non-optimal region
+			// matters, not just being there.
+			donors = append(donors, s)
+		case s.Regime().Underloaded():
+			acceptors = append(acceptors, s)
+		}
+	}
+	// Most urgent first: R5 before R4, larger excess first.
+	sort.SliceStable(donors, func(i, j int) bool {
+		ri, rj := donors[i].Regime(), donors[j].Regime()
+		if ri != rj {
+			return ri > rj
+		}
+		if donors[i].Excess() != donors[j].Excess() {
+			return donors[i].Excess() > donors[j].Excess()
+		}
+		return donors[i].ID() < donors[j].ID()
+	})
+	// Fullest acceptors first: concentrate load.
+	sort.SliceStable(acceptors, func(i, j int) bool {
+		if acceptors[i].Load() != acceptors[j].Load() {
+			return acceptors[i].Load() > acceptors[j].Load()
+		}
+		return acceptors[i].ID() < acceptors[j].ID()
+	})
+
+	// The leader's relief capacity per interval: spreading the initial
+	// rebalancing storm over several intervals rather than resolving it
+	// instantaneously (negotiations take time).
+	reliefBudget := max(2, len(c.servers)/15)
+	woken := 0
+	totalSheds := 0
+	for _, d := range donors {
+		if totalSheds >= reliefBudget {
+			break
+		}
+		urgent := d.Regime() == regime.R5
+		sheds := 0
+		for d.Regime().Overloaded() && sheds < maxShedsPerDonor && totalSheds < reliefBudget {
+			moved := false
+			for _, h := range d.AppsByDemand() {
+				var dst *server.Server
+				for _, a := range acceptors {
+					if a != d && fits(a, h.App.Demand, acceptToOptHigh) {
+						dst = a
+						break
+					}
+				}
+				if dst == nil && urgent {
+					// R5 requires immediate attention (§4): when no
+					// underloaded partner exists the leader widens the
+					// search to any server with optimal-region headroom.
+					dst = c.findAcceptor(h.App.Demand, d, acceptToOptHigh)
+				}
+				if dst == nil {
+					continue
+				}
+				if err := c.migrate(d, dst, h); err != nil {
+					return woken, err
+				}
+				c.ledger.Record(scaling.Horizontal, 1)
+				sheds++
+				totalSheds++
+				moved = true
+				break
+			}
+			if !moved {
+				break
+			}
+		}
+		if urgent && d.Regime() == regime.R5 {
+			// Still undesirable and nothing accepted: wake capacity.
+			ok, err := c.wakeOne()
+			if err != nil {
+				return woken, err
+			}
+			if ok {
+				woken++
+			}
+		}
+	}
+	return woken, nil
+}
+
+// wakeOne wakes the sleeping server with the shortest wake latency
+// (C3 before C6). It reports whether any server was woken.
+func (c *Cluster) wakeOne() (bool, error) {
+	var pick *server.Server
+	var pickLat units.Seconds
+	for _, s := range c.servers {
+		if !s.Sleeping() || s.CStateBusy(c.now) || c.failed[s.ID()] {
+			continue
+		}
+		lat, err := s.WakeLatency()
+		if err != nil {
+			return false, err
+		}
+		if pick == nil || lat < pickLat {
+			pick, pickLat = s, lat
+		}
+	}
+	if pick == nil {
+		return false, nil
+	}
+	if _, err := c.net.Send(netsim.LeaderNode, netsim.NodeID(pick.ID()), netsim.MsgWakeCommand, netsim.ControlMsgSize); err != nil {
+		return false, err
+	}
+	ready, err := pick.Wake(c.now)
+	if err != nil {
+		return false, err
+	}
+	c.totalWakes++
+	// The setup completes asynchronously — possibly several reallocation
+	// intervals later for a C6 wake (260 s vs τ = 60 s).
+	c.sim.Schedule(ready, func(units.Seconds) { c.wakesCompleted++ })
+	return true, nil
+}
+
+// consolidate empties persistent R1 servers into other servers and
+// switches them to sleep (§4 step 1's "transfer its own workload ... and
+// then switch itself to sleep"), bounded by the leader's per-interval
+// budget. The sleep state follows the 60% rule (§6) unless forced by the
+// policy.
+func (c *Cluster) consolidate(awake []*server.Server) error {
+	target := c.sleepTarget()
+	var donors []*server.Server
+	for _, s := range awake {
+		if s.Regime() == regime.R1 && c.r1Streak[s.ID()] >= c.cfg.SleepHysteresis {
+			donors = append(donors, s)
+		}
+	}
+	// Emptiest first: fewest migrations per reclaimed server.
+	sort.SliceStable(donors, func(i, j int) bool {
+		if donors[i].Load() != donors[j].Load() {
+			return donors[i].Load() < donors[j].Load()
+		}
+		return donors[i].ID() < donors[j].ID()
+	})
+
+	budget := c.cfg.ConsolidationBudget
+	slept := 0
+	pendingSleep := make(map[server.ID]bool)
+	for _, d := range donors {
+		if budget > 0 && slept >= budget {
+			break
+		}
+		plan, ok := c.planEvacuation(d, pendingSleep)
+		if !ok {
+			continue
+		}
+		for _, mv := range plan {
+			if err := c.migrate(d, mv.dst, mv.h); err != nil {
+				return err
+			}
+			c.ledger.Record(scaling.Horizontal, 1)
+		}
+		if err := d.Sleep(target, c.now); err != nil {
+			return err
+		}
+		pendingSleep[d.ID()] = true
+		slept++
+	}
+	return nil
+}
+
+// move is one planned evacuation step.
+type move struct {
+	h   server.Hosted
+	dst *server.Server
+}
+
+// planEvacuation finds placements for all of d's applications such that
+// every acceptor stays within its optimal region. The plan is all-or-
+// nothing: a server that cannot fully empty keeps its workload (partial
+// evacuation would spend migrations without reclaiming a server).
+func (c *Cluster) planEvacuation(d *server.Server, pendingSleep map[server.ID]bool) ([]move, bool) {
+	limit := acceptToOptMid
+	if c.cfg.ConservativeConsolidation {
+		limit = acceptToOptLow
+	}
+	apps := d.AppsByDemand()
+	plan := make([]move, 0, len(apps))
+	projected := make(map[server.ID]units.Fraction)
+	for _, h := range apps {
+		var dst *server.Server
+		// Bounded candidate search, like every other leader query.
+		var bestLoad units.Fraction
+		for i := 0; i < candidateSample; i++ {
+			cand := c.servers[c.rng.Intn(len(c.servers))]
+			if cand == d || !c.active(cand) || pendingSleep[cand.ID()] {
+				continue
+			}
+			load := cand.Load() + projected[cand.ID()]
+			if load+h.App.Demand > limit.bound(cand) {
+				continue
+			}
+			if dst == nil || load > bestLoad {
+				dst, bestLoad = cand, load
+			}
+		}
+		if dst == nil {
+			return nil, false
+		}
+		projected[dst.ID()] += h.App.Demand
+		plan = append(plan, move{h: h, dst: dst})
+	}
+	return plan, true
+}
+
+// sleepTarget applies the configured sleep policy.
+func (c *Cluster) sleepTarget() acpi.CState {
+	switch c.cfg.Sleep {
+	case SleepC3Only:
+		return acpi.C3
+	case SleepC6Only:
+		return acpi.C6
+	default:
+		// §6: C6 only when the cluster is unlikely to need the capacity
+		// back soon.
+		if c.ClusterLoad() < 0.6 {
+			return acpi.C6
+		}
+		return acpi.C3
+	}
+}
+
+// Balance runs one leader pass at the current simulation time without
+// evolving demand — the "after load balancing" state of Figure 2 relative
+// to the initial placement.
+func (c *Cluster) Balance() error {
+	_, err := c.balance()
+	return err
+}

@@ -1,0 +1,258 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§5), plus the extension and ablation studies listed
+// in DESIGN.md. Each runner produces structured results and can render
+// them as text; the cmd/ealb-experiments binary and the root bench suite
+// are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ealb/internal/cluster"
+	"ealb/internal/report"
+	"ealb/internal/stats"
+	"ealb/internal/workload"
+)
+
+// DefaultSeed is the seed used by all default experiment runs; change it
+// on the command line to check robustness of the shapes.
+const DefaultSeed uint64 = 2014 // the paper's publication year
+
+// DefaultIntervals is the experiment length from §5: "the evolution of a
+// cluster for some 40 reallocation intervals".
+const DefaultIntervals = 40
+
+// PaperSizes are the cluster sizes of §5: 10^2, 10^3, 10^4.
+var PaperSizes = []int{100, 1000, 10000}
+
+// PaperBands are the two initial-load distributions of §5.
+var PaperBands = []workload.Band{workload.LowLoad(), workload.HighLoad()}
+
+// ClusterRun is the raw outcome of one (size, band) cluster simulation.
+type ClusterRun struct {
+	Size      int
+	Band      workload.Band
+	Before    [5]int // regime distribution at t=0
+	After     [5]int // regime distribution after the run (awake servers)
+	Stats     []cluster.IntervalStats
+	Sleeping  int     // servers asleep at the end
+	AvgAsleep float64 // mean sleeping count across intervals
+	MeanRatio float64 // Table 2 "Average ratio"
+	StdRatio  float64 // Table 2 "Standard deviation"
+	Energy    float64 // total Joules
+	Wakes     int
+}
+
+// RunCluster executes the §5 experiment for one cluster size and load
+// band and returns the measurements behind Figures 2-3 and Table 2.
+func RunCluster(size int, band workload.Band, seed uint64, intervals int, mutate func(*cluster.Config)) (ClusterRun, error) {
+	cfg := cluster.DefaultConfig(size, band, seed)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return ClusterRun{}, err
+	}
+	run := ClusterRun{Size: size, Band: band, Before: c.RegimeCounts()}
+	st, err := c.RunIntervals(intervals)
+	if err != nil {
+		return ClusterRun{}, err
+	}
+	run.Stats = st
+	run.After = c.RegimeCounts()
+	run.Sleeping = c.SleepingCount()
+	run.Wakes = c.Wakes()
+	var asleep float64
+	for _, s := range st {
+		asleep += float64(s.Sleeping)
+	}
+	run.AvgAsleep = asleep / float64(len(st))
+	run.MeanRatio = c.Ledger().MeanRatio()
+	run.StdRatio = c.Ledger().StdDevRatio()
+	run.Energy = float64(c.TotalEnergy())
+	return run, nil
+}
+
+// Ratios extracts the Figure 3 time series.
+func (r ClusterRun) Ratios() []float64 {
+	out := make([]float64, len(r.Stats))
+	for i, s := range r.Stats {
+		out[i] = s.Ratio
+	}
+	return out
+}
+
+// Crossover returns the first interval (1-based) from which the ratio
+// stays below 1 for five consecutive intervals — the point where
+// low-cost local decisions become durably dominant (§5). The window
+// guards against declaring dominance while the series still hovers
+// around 1. It returns the interval count when no such point exists.
+func (r ClusterRun) Crossover() int {
+	const window = 5
+	for i := 0; i+window-1 < len(r.Stats); i++ {
+		below := true
+		for j := i; j < i+window; j++ {
+			if r.Stats[j].Ratio >= 1 {
+				below = false
+				break
+			}
+		}
+		if below {
+			return i + 1
+		}
+	}
+	return len(r.Stats)
+}
+
+// Figure2 runs the six §5 panels (three sizes × two load bands) and
+// returns the before/after regime distributions.
+func Figure2(sizes []int, seed uint64, intervals int) ([]ClusterRun, error) {
+	var out []ClusterRun
+	for _, size := range sizes {
+		for _, band := range PaperBands {
+			run, err := RunCluster(size, band, seed, intervals, nil)
+			if err != nil {
+				return nil, fmt.Errorf("figure2 size=%d band=%v: %w", size, band, err)
+			}
+			out = append(out, run)
+		}
+	}
+	return out, nil
+}
+
+// RenderFigure2 writes the regime histograms in the layout of the paper's
+// Figure 2: per panel, initial versus final server counts per regime.
+func RenderFigure2(w io.Writer, runs []ClusterRun) error {
+	fmt.Fprintln(w, "Figure 2 — servers per operating regime before/after energy-aware load balancing")
+	fmt.Fprintln(w, "(final counts cover awake servers; sleeping servers are listed separately)")
+	for _, r := range runs {
+		fmt.Fprintf(w, "\nCluster size %d, average load %.0f%%\n", r.Size, r.Band.Mean()*100)
+		chart := report.NewBarChart("  initial", 40)
+		for i, n := range r.Before {
+			chart.Add(fmt.Sprintf("R%d", i+1), float64(n))
+		}
+		if err := chart.Render(w); err != nil {
+			return err
+		}
+		chart = report.NewBarChart("  final", 40)
+		for i, n := range r.After {
+			chart.Add(fmt.Sprintf("R%d", i+1), float64(n))
+		}
+		if err := chart.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  sleeping: %d\n", r.Sleeping)
+	}
+	return nil
+}
+
+// Figure3 runs the six ratio-trace panels. The same runs also carry the
+// Table 2 statistics.
+func Figure3(sizes []int, seed uint64, intervals int) ([]ClusterRun, error) {
+	return Figure2(sizes, seed, intervals) // identical sweep, different rendering
+}
+
+// RenderFigure3 writes the in-cluster/local decision ratio traces.
+func RenderFigure3(w io.Writer, runs []ClusterRun) error {
+	fmt.Fprintln(w, "Figure 3 — ratio of in-cluster to local decisions per reallocation interval")
+	for _, r := range runs {
+		title := fmt.Sprintf("\nCluster size %d, average load %.0f%% (crossover at interval %d)",
+			r.Size, r.Band.Mean()*100, r.Crossover())
+		plot := report.NewLinePlot(title, 10)
+		plot.AddSeries(r.Ratios())
+		if err := plot.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderTable2 writes the Table 2 summary for the given runs.
+func RenderTable2(w io.Writer, runs []ClusterRun) error {
+	t := report.NewTable(
+		"Table 2 — in-cluster to local decision ratios",
+		"Cluster size", "Avg load", "Avg # sleeping", "Average ratio", "Std deviation")
+	for _, r := range runs {
+		if err := t.AddRow(
+			fmt.Sprintf("%d", r.Size),
+			fmt.Sprintf("%.0f%%", r.Band.Mean()*100),
+			fmt.Sprintf("%.1f", r.AvgAsleep),
+			fmt.Sprintf("%.4f", r.MeanRatio),
+			fmt.Sprintf("%.4f", r.StdRatio),
+		); err != nil {
+			return err
+		}
+	}
+	return t.Render(w)
+}
+
+// SmallClusters runs the cluster-size extension from [19] that §5
+// mentions: sizes 20, 40, 60, 80.
+func SmallClusters(seed uint64, intervals int) ([]ClusterRun, error) {
+	return Figure2([]int{20, 40, 60, 80}, seed, intervals)
+}
+
+// EnergySavings compares the energy-aware cluster against the always-on
+// baseline at each load band and reports E_ref/E_opt, the measured
+// counterpart of the homogeneous model's eq. 12.
+type EnergySavings struct {
+	Size        int
+	Band        workload.Band
+	EnergyAware float64 // Joules
+	AlwaysOn    float64 // Joules
+	Ratio       float64 // AlwaysOn / EnergyAware
+}
+
+// RunEnergySavings measures the savings for one configuration.
+func RunEnergySavings(size int, band workload.Band, seed uint64, intervals int) (EnergySavings, error) {
+	aware, err := RunCluster(size, band, seed, intervals, nil)
+	if err != nil {
+		return EnergySavings{}, err
+	}
+	always, err := RunCluster(size, band, seed, intervals, func(c *cluster.Config) {
+		c.Sleep = cluster.SleepNever
+	})
+	if err != nil {
+		return EnergySavings{}, err
+	}
+	out := EnergySavings{
+		Size: size, Band: band,
+		EnergyAware: aware.Energy,
+		AlwaysOn:    always.Energy,
+	}
+	if aware.Energy > 0 {
+		out.Ratio = always.Energy / aware.Energy
+	}
+	return out, nil
+}
+
+// RenderEnergySavings writes the measured E_ref/E_opt table.
+func RenderEnergySavings(w io.Writer, rows []EnergySavings) error {
+	t := report.NewTable(
+		"Energy savings — always-on baseline vs energy-aware cluster (measured eq. 12)",
+		"Cluster size", "Avg load", "Always-on (kWh)", "Energy-aware (kWh)", "E_ref/E_opt")
+	for _, r := range rows {
+		if err := t.AddRow(
+			fmt.Sprintf("%d", r.Size),
+			fmt.Sprintf("%.0f%%", r.Band.Mean()*100),
+			fmt.Sprintf("%.2f", r.AlwaysOn/3.6e6),
+			fmt.Sprintf("%.2f", r.EnergyAware/3.6e6),
+			fmt.Sprintf("%.3f", r.Ratio),
+		); err != nil {
+			return err
+		}
+	}
+	return t.Render(w)
+}
+
+// SummarizeRatios aggregates ratio statistics across several runs (used
+// by robustness checks over seeds).
+func SummarizeRatios(runs []ClusterRun) (mean, std float64) {
+	var all []float64
+	for _, r := range runs {
+		all = append(all, r.MeanRatio)
+	}
+	return stats.Mean(all), stats.SampleStdDev(all)
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The pure-math artifacts have byte-stable output: Table 1 is fixed data
+// and Figure 1 is a deterministic render of fixed inputs. Pinning them
+// catches accidental format or constant drift.
+
+func TestTable1Golden(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderTable1(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"Table 1 — estimated average server power use (Watts) [Koomey]",
+		"Type  2000  2001  2002  2003  2004  2005  2006",
+		"----------------------------------------------",
+		"Vol   186   193   200   207   213   219   225 ",
+		"Mid   424   457   491   524   574   625   675 ",
+		"High  5534  5832  6130  6428  6973  7651  8163",
+	}, "\n") + "\n"
+	if sb.String() != want {
+		t.Errorf("Table 1 output drifted:\n got:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+func TestHomogeneousGoldenHeadline(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderHomogeneous(&sb); err != nil {
+		t.Fatal(err)
+	}
+	wantLine := "E_ref/E_opt = 2.2500 (paper: 2.25), energy saving 55.6%, n_sleep = 667 of 1000"
+	if !strings.Contains(sb.String(), wantLine) {
+		t.Errorf("homogeneous headline drifted; want %q in:\n%s", wantLine, sb.String())
+	}
+}

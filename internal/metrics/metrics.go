@@ -1,0 +1,203 @@
+// Package metrics collects, persists and aggregates experiment
+// measurements. It complements internal/report (which renders) with the
+// data-handling side: typed per-interval records, CSV encoding/decoding
+// for external plotting, and cross-seed aggregation used by the
+// robustness experiment (the paper reports single runs; we verify the
+// shapes are not seed artifacts).
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ealb/internal/cluster"
+	"ealb/internal/stats"
+)
+
+// Record is one reallocation interval's measurements in flat, portable
+// form.
+type Record struct {
+	Interval      int
+	Ratio         float64
+	Local         int
+	InCluster     int
+	Migrations    int
+	Sleeping      int
+	Woken         int
+	SLAViolations int
+	ClusterLoad   float64
+	EnergyJ       float64
+}
+
+// FromIntervalStats converts the simulator's native stats.
+func FromIntervalStats(st cluster.IntervalStats) Record {
+	return Record{
+		Interval:      st.Index,
+		Ratio:         st.Ratio,
+		Local:         st.Decisions.Local,
+		InCluster:     st.Decisions.InCluster,
+		Migrations:    st.Migrations,
+		Sleeping:      st.Sleeping,
+		Woken:         st.Woken,
+		SLAViolations: st.SLAViolations,
+		ClusterLoad:   float64(st.ClusterLoad),
+		EnergyJ:       float64(st.IntervalEnergy),
+	}
+}
+
+// Series is a full run's records.
+type Series []Record
+
+// FromRun converts a slice of interval stats.
+func FromRun(sts []cluster.IntervalStats) Series {
+	out := make(Series, len(sts))
+	for i, st := range sts {
+		out[i] = FromIntervalStats(st)
+	}
+	return out
+}
+
+// csvHeader is the fixed column layout.
+var csvHeader = []string{
+	"interval", "ratio", "local", "incluster", "migrations",
+	"sleeping", "woken", "sla_violations", "cluster_load", "energy_j",
+}
+
+// WriteCSV writes the series with a header row.
+func (s Series) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, strings.Join(csvHeader, ",")+"\n"); err != nil {
+		return err
+	}
+	for _, r := range s {
+		_, err := fmt.Fprintf(w, "%d,%g,%d,%d,%d,%d,%d,%d,%g,%g\n",
+			r.Interval, r.Ratio, r.Local, r.InCluster, r.Migrations,
+			r.Sleeping, r.Woken, r.SLAViolations, r.ClusterLoad, r.EnergyJ)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCSV parses a series previously written by WriteCSV. It validates
+// the header and every field.
+func ReadCSV(r io.Reader) (Series, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("metrics: empty CSV input")
+	}
+	if got := sc.Text(); got != strings.Join(csvHeader, ",") {
+		return nil, fmt.Errorf("metrics: unexpected CSV header %q", got)
+	}
+	var out Series
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.Split(sc.Text(), ",")
+		if len(fields) != len(csvHeader) {
+			return nil, fmt.Errorf("metrics: line %d has %d fields, want %d", line, len(fields), len(csvHeader))
+		}
+		var rec Record
+		ints := []*int{&rec.Interval, nil, &rec.Local, &rec.InCluster, &rec.Migrations,
+			&rec.Sleeping, &rec.Woken, &rec.SLAViolations, nil, nil}
+		floats := []*float64{nil, &rec.Ratio, nil, nil, nil, nil, nil, nil, &rec.ClusterLoad, &rec.EnergyJ}
+		for i, f := range fields {
+			switch {
+			case ints[i] != nil:
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("metrics: line %d field %s: %w", line, csvHeader[i], err)
+				}
+				*ints[i] = v
+			case floats[i] != nil:
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("metrics: line %d field %s: %w", line, csvHeader[i], err)
+				}
+				*floats[i] = v
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// Summary aggregates a series into headline numbers.
+type Summary struct {
+	Intervals     int
+	MeanRatio     float64
+	StdRatio      float64
+	TotalLocal    int
+	TotalIn       int
+	TotalMigs     int
+	FinalSleeping int
+	TotalEnergyJ  float64
+	MaxSLA        int
+}
+
+// Summarize computes the summary of a series.
+func (s Series) Summarize() Summary {
+	var sum Summary
+	sum.Intervals = len(s)
+	ratios := make([]float64, len(s))
+	for i, r := range s {
+		ratios[i] = r.Ratio
+		sum.TotalLocal += r.Local
+		sum.TotalIn += r.InCluster
+		sum.TotalMigs += r.Migrations
+		sum.TotalEnergyJ += r.EnergyJ
+		if r.SLAViolations > sum.MaxSLA {
+			sum.MaxSLA = r.SLAViolations
+		}
+	}
+	if len(s) > 0 {
+		sum.FinalSleeping = s[len(s)-1].Sleeping
+	}
+	sum.MeanRatio = stats.Mean(ratios)
+	sum.StdRatio = stats.SampleStdDev(ratios)
+	return sum
+}
+
+// Aggregate holds per-interval statistics across several runs of the
+// same experiment with different seeds.
+type Aggregate struct {
+	Runs  int
+	Mean  []float64 // mean ratio per interval
+	Std   []float64 // sample std dev of the ratio per interval
+	Sleep []float64 // mean sleeping count per interval
+}
+
+// AggregateSeries combines K same-length runs. It errors on mismatched
+// lengths or empty input.
+func AggregateSeries(runs []Series) (Aggregate, error) {
+	if len(runs) == 0 {
+		return Aggregate{}, fmt.Errorf("metrics: no runs to aggregate")
+	}
+	n := len(runs[0])
+	for i, r := range runs {
+		if len(r) != n {
+			return Aggregate{}, fmt.Errorf("metrics: run %d has %d intervals, run 0 has %d", i, len(r), n)
+		}
+	}
+	agg := Aggregate{
+		Runs:  len(runs),
+		Mean:  make([]float64, n),
+		Std:   make([]float64, n),
+		Sleep: make([]float64, n),
+	}
+	for t := 0; t < n; t++ {
+		var rec stats.Running
+		var sleep float64
+		for _, r := range runs {
+			rec.Add(r[t].Ratio)
+			sleep += float64(r[t].Sleeping)
+		}
+		agg.Mean[t] = rec.Mean()
+		agg.Std[t] = rec.SampleStdDev()
+		agg.Sleep[t] = sleep / float64(len(runs))
+	}
+	return agg, nil
+}

@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ealb/internal/cluster"
+	"ealb/internal/scaling"
+	"ealb/internal/units"
+	"ealb/internal/workload"
+)
+
+func sampleStats() cluster.IntervalStats {
+	return cluster.IntervalStats{
+		Index:          3,
+		EndTime:        180,
+		Sleeping:       5,
+		Woken:          1,
+		Decisions:      scaling.Counts{Local: 10, InCluster: 4},
+		Ratio:          0.4,
+		Migrations:     4,
+		SLAViolations:  2,
+		ClusterLoad:    units.Fraction(0.31),
+		IntervalEnergy: units.Joules(1234.5),
+	}
+}
+
+func TestFromIntervalStats(t *testing.T) {
+	r := FromIntervalStats(sampleStats())
+	if r.Interval != 3 || r.Ratio != 0.4 || r.Local != 10 || r.InCluster != 4 ||
+		r.Migrations != 4 || r.Sleeping != 5 || r.Woken != 1 ||
+		r.SLAViolations != 2 || r.ClusterLoad != 0.31 || r.EnergyJ != 1234.5 {
+		t.Errorf("conversion wrong: %+v", r)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := Series{
+		FromIntervalStats(sampleStats()),
+		{Interval: 4, Ratio: 1.25, Local: 8, InCluster: 10, Migrations: 10,
+			Sleeping: 6, Woken: 0, SLAViolations: 0, ClusterLoad: 0.305, EnergyJ: 2000},
+	}
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(s) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(s))
+	}
+	for i := range s {
+		if back[i] != s[i] {
+			t.Errorf("record %d: %+v != %+v", i, back[i], s[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                   // empty
+		"bad,header\n1,2",    // wrong header
+		header() + "\n1,2,3", // short row
+		header() + "\nx" + strings.Repeat(",0", 9), // bad int
+		header() + "\n1,notafloat,0,0,0,0,0,0,0,0", // bad float
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: bad CSV accepted", i)
+		}
+	}
+}
+
+func header() string {
+	return "interval,ratio,local,incluster,migrations,sleeping,woken,sla_violations,cluster_load,energy_j"
+}
+
+func TestSummarize(t *testing.T) {
+	s := Series{
+		{Interval: 1, Ratio: 1, Local: 2, InCluster: 2, Migrations: 2, Sleeping: 1, SLAViolations: 3, EnergyJ: 10},
+		{Interval: 2, Ratio: 3, Local: 4, InCluster: 12, Migrations: 12, Sleeping: 7, SLAViolations: 1, EnergyJ: 20},
+	}
+	sum := s.Summarize()
+	if sum.Intervals != 2 || sum.MeanRatio != 2 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if math.Abs(sum.StdRatio-math.Sqrt2) > 1e-12 {
+		t.Errorf("std = %v", sum.StdRatio)
+	}
+	if sum.TotalLocal != 6 || sum.TotalIn != 14 || sum.TotalMigs != 14 {
+		t.Errorf("totals wrong: %+v", sum)
+	}
+	if sum.FinalSleeping != 7 || sum.MaxSLA != 3 || sum.TotalEnergyJ != 30 {
+		t.Errorf("summary tail wrong: %+v", sum)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	var s Series
+	sum := s.Summarize()
+	if sum.Intervals != 0 || sum.MeanRatio != 0 || sum.FinalSleeping != 0 {
+		t.Errorf("empty summary = %+v", sum)
+	}
+}
+
+func TestAggregateSeries(t *testing.T) {
+	a := Series{{Ratio: 1, Sleeping: 2}, {Ratio: 3, Sleeping: 4}}
+	b := Series{{Ratio: 3, Sleeping: 4}, {Ratio: 5, Sleeping: 8}}
+	agg, err := AggregateSeries([]Series{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 2 {
+		t.Errorf("runs = %d", agg.Runs)
+	}
+	if agg.Mean[0] != 2 || agg.Mean[1] != 4 {
+		t.Errorf("means = %v", agg.Mean)
+	}
+	if agg.Sleep[0] != 3 || agg.Sleep[1] != 6 {
+		t.Errorf("sleep means = %v", agg.Sleep)
+	}
+	if math.Abs(agg.Std[0]-math.Sqrt2) > 1e-12 {
+		t.Errorf("std = %v", agg.Std)
+	}
+}
+
+func TestAggregateSeriesErrors(t *testing.T) {
+	if _, err := AggregateSeries(nil); err == nil {
+		t.Error("empty aggregation must error")
+	}
+	if _, err := AggregateSeries([]Series{{{Ratio: 1}}, {}}); err == nil {
+		t.Error("mismatched lengths must error")
+	}
+}
+
+func TestFromRunAndCSVOnRealSimulation(t *testing.T) {
+	// Integration: a real cluster run survives the CSV round trip.
+	cfg := cluster.DefaultConfig(40, workload.LowLoad(), 9)
+	c, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts, err := c.RunIntervals(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FromRun(sts)
+	if len(s) != 8 {
+		t.Fatalf("series length %d", len(s))
+	}
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s {
+		if back[i] != s[i] {
+			t.Errorf("record %d changed in round trip", i)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package migration
+
+import (
+	"testing"
+
+	"ealb/internal/units"
+	"ealb/internal/vm"
+)
+
+func batch(t *testing.T, memsGB ...int64) []*vm.VM {
+	t.Helper()
+	out := make([]*vm.VM, 0, len(memsGB))
+	for i, m := range memsGB {
+		v, err := vm.New(vm.ID(i+1), vm.Config{
+			Memory: units.Bytes(m) * units.GB, ImageSize: units.GB,
+			CPUShare: 0.2, DirtyRate: 10 * units.MB,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestScheduleFIFO(t *testing.T) {
+	vms := batch(t, 2, 1, 4)
+	plan, err := Schedule(vms, DefaultParams(), 100, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Items) != 3 {
+		t.Fatalf("items = %d", len(plan.Items))
+	}
+	// FIFO preserves order and slots are contiguous.
+	for i, it := range plan.Items {
+		if it.VM.ID != vm.ID(i+1) {
+			t.Errorf("slot %d holds VM %d, want %d", i, it.VM.ID, i+1)
+		}
+		if i > 0 && it.Start != plan.Items[i-1].End {
+			t.Errorf("slot %d not contiguous: starts %v, previous ends %v", i, it.Start, plan.Items[i-1].End)
+		}
+	}
+	if plan.Items[0].Start != 100 {
+		t.Errorf("first slot starts at %v, want 100", plan.Items[0].Start)
+	}
+	if plan.Makespan != plan.Items[2].End-100 {
+		t.Errorf("makespan %v inconsistent", plan.Makespan)
+	}
+}
+
+func TestScheduleOrders(t *testing.T) {
+	vms := batch(t, 4, 1, 2)
+	small, err := Schedule(vms, DefaultParams(), 0, SmallestFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Schedule(vms, DefaultParams(), 0, LargestFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Items[0].VM.Memory != units.GB {
+		t.Error("smallest-first must start with the 1 GiB VM")
+	}
+	if large.Items[0].VM.Memory != 4*units.GB {
+		t.Error("largest-first must start with the 4 GiB VM")
+	}
+	// SPT minimizes mean completion time; makespan is order-invariant.
+	if small.MeanCompletion(0) >= large.MeanCompletion(0) {
+		t.Errorf("smallest-first mean completion %v not below largest-first %v",
+			small.MeanCompletion(0), large.MeanCompletion(0))
+	}
+	if small.Makespan != large.Makespan {
+		t.Errorf("makespan must not depend on order: %v vs %v", small.Makespan, large.Makespan)
+	}
+	if small.Energy != large.Energy || small.Bytes != large.Bytes {
+		t.Error("batch energy/bytes must not depend on order")
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	p := DefaultParams()
+	if _, err := Schedule(nil, p, 0, FIFO); err == nil {
+		t.Error("empty batch must error")
+	}
+	if _, err := Schedule([]*vm.VM{nil}, p, 0, FIFO); err == nil {
+		t.Error("nil VM must error")
+	}
+	vms := batch(t, 1)
+	if _, err := Schedule(vms, p, 0, Order(9)); err == nil {
+		t.Error("unknown order must error")
+	}
+	bad := p
+	bad.Bandwidth = 0
+	if _, err := Schedule(vms, bad, 0, FIFO); err == nil {
+		t.Error("invalid params must error")
+	}
+}
+
+func TestScheduleDoesNotMutateInput(t *testing.T) {
+	vms := batch(t, 3, 1, 2)
+	if _, err := Schedule(vms, DefaultParams(), 0, SmallestFirst); err != nil {
+		t.Fatal(err)
+	}
+	if vms[0].Memory != 3*units.GB || vms[1].Memory != units.GB || vms[2].Memory != 2*units.GB {
+		t.Error("Schedule reordered the caller's slice")
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	if FIFO.String() != "fifo" || SmallestFirst.String() != "smallest-first" || LargestFirst.String() != "largest-first" {
+		t.Error("order names wrong")
+	}
+	if Order(9).String() != "Order(9)" {
+		t.Error("unknown order must render with value")
+	}
+}
+
+func TestMeanCompletionEmptyPlan(t *testing.T) {
+	var p Plan
+	if p.MeanCompletion(0) != 0 {
+		t.Error("empty plan mean completion must be 0")
+	}
+}

@@ -1,0 +1,314 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"ealb/internal/queueing"
+	"ealb/internal/units"
+	"ealb/internal/workload"
+	"ealb/internal/xrand"
+)
+
+// FarmConfig parameterizes the server-farm simulation.
+type FarmConfig struct {
+	// Servers is the farm size (the provisioning ceiling).
+	Servers int
+	// PerServerRate is how many requests/second one active server
+	// sustains at full utilization.
+	PerServerRate float64
+	// SetupTime is how long an off server takes to become active; during
+	// setup it draws close to peak power (§3, [9]).
+	SetupTime units.Seconds
+	// IdlePower/PeakPower define the linear power model of one server;
+	// SleepPower is the draw of a switched-off (sleeping) server.
+	IdlePower, PeakPower, SleepPower units.Watts
+	// WindowSlots is how many past observations policies may see.
+	WindowSlots int
+	// ResponseTarget is the QoS bound on mean response time (the paper's
+	// canonical SLA constraint). Zero selects five service times.
+	ResponseTarget units.Seconds
+	// Dt is the observation/decision slot length.
+	Dt units.Seconds
+	// Horizon is the total simulated time.
+	Horizon units.Seconds
+	// Seed drives the Poisson arrival sampling.
+	Seed uint64
+}
+
+// DefaultFarmConfig returns a 100-server farm with the paper's 260 s
+// setup time, 10 s decision slots and a 2-hour horizon.
+func DefaultFarmConfig() FarmConfig {
+	return FarmConfig{
+		Servers:       100,
+		PerServerRate: 100,
+		SetupTime:     260,
+		IdlePower:     100,
+		PeakPower:     200,
+		SleepPower:    5,
+		WindowSlots:   30,
+		Dt:            10,
+		Horizon:       7200,
+		Seed:          1,
+	}
+}
+
+// Validate checks the configuration.
+func (c FarmConfig) Validate() error {
+	if c.Servers <= 0 {
+		return fmt.Errorf("policy: non-positive farm size %d", c.Servers)
+	}
+	if c.PerServerRate <= 0 {
+		return fmt.Errorf("policy: non-positive per-server rate %v", c.PerServerRate)
+	}
+	if c.SetupTime < 0 || c.Dt <= 0 || c.Horizon < c.Dt {
+		return fmt.Errorf("policy: invalid timing setup=%v dt=%v horizon=%v", c.SetupTime, c.Dt, c.Horizon)
+	}
+	if c.IdlePower < 0 || c.PeakPower <= 0 || c.IdlePower > c.PeakPower || c.SleepPower < 0 {
+		return fmt.Errorf("policy: invalid power parameters")
+	}
+	if c.WindowSlots < 1 {
+		return fmt.Errorf("policy: window must hold at least one slot")
+	}
+	return nil
+}
+
+// Result summarizes one policy's run.
+type Result struct {
+	Policy string
+	// Energy is the total farm energy over the horizon.
+	Energy units.Joules
+	// ViolationSlots counts slots where arrivals exceeded active capacity.
+	ViolationSlots int
+	// RTViolationSlots counts slots whose estimated mean response time
+	// (Erlang-C M/M/c over the active pool) exceeded the configured
+	// target — the response-time QoS constraint of the paper's
+	// load-balancing reformulation.
+	RTViolationSlots int
+	// MeanResponse is the average of the finite per-slot response-time
+	// estimates, in seconds.
+	MeanResponse float64
+	// Dropped is the number of requests beyond capacity across the run.
+	Dropped int
+	// Served is the number of requests handled.
+	Served int
+	// AvgActive is the mean number of active servers.
+	AvgActive float64
+	// AvgSetup is the mean number of servers in setup.
+	AvgSetup float64
+	// Slots is the number of decision slots simulated.
+	Slots int
+}
+
+// ViolationRate returns the fraction of slots with an SLA violation.
+func (r Result) ViolationRate() float64 {
+	if r.Slots == 0 {
+		return 0
+	}
+	return float64(r.ViolationSlots) / float64(r.Slots)
+}
+
+// DropRate returns the fraction of requests dropped.
+func (r Result) DropRate() float64 {
+	total := r.Served + r.Dropped
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Dropped) / float64(total)
+}
+
+// Simulate runs one policy against one arrival-rate profile.
+//
+// The farm keeps three pools: active servers, servers in setup (with a
+// countdown), and off servers. Each slot the policy chooses a target;
+// scale-up moves off servers into setup, scale-down removes active
+// servers first and pending setups second. Arrivals are Poisson with
+// mean rate(t)·dt; arrivals beyond active capacity in a slot are dropped
+// and the slot is an SLA violation. Energy integrates active draw
+// (linear in utilization), setup draw (peak), and sleep draw.
+func Simulate(cfg FarmConfig, pol Policy, rate workload.RateFunc) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if pol == nil {
+		return Result{}, fmt.Errorf("policy: nil policy")
+	}
+	if rate == nil {
+		return Result{}, fmt.Errorf("policy: nil rate function")
+	}
+
+	rng := xrand.New(cfg.Seed)
+	res := Result{Policy: pol.Name()}
+	serviceTime := 1 / cfg.PerServerRate
+	target := cfg.ResponseTarget
+	if target <= 0 {
+		target = units.Seconds(5 * serviceTime)
+	}
+	need := func(r float64) int {
+		n := int(float64(r)/cfg.PerServerRate + 0.999999)
+		if n > cfg.Servers {
+			n = cfg.Servers
+		}
+		if n < 1 {
+			n = 1 // always keep one server for availability
+		}
+		return n
+	}
+
+	active := need(rate(0)) // start provisioned for the initial rate
+	var setups []units.Seconds
+	window := make([]float64, 0, cfg.WindowSlots)
+
+	var sumActive, sumSetup float64
+	var sumRT float64
+	rtSlots := 0
+	for now := units.Seconds(0); now < cfg.Horizon; now += cfg.Dt {
+		// Finish setups that completed during this slot.
+		remaining := setups[:0]
+		for _, doneAt := range setups {
+			if doneAt <= now {
+				active++
+			} else {
+				remaining = append(remaining, doneAt)
+			}
+		}
+		setups = remaining
+
+		// Arrivals for this slot.
+		arrivals := workload.Arrivals(rng, rate, now, cfg.Dt)
+		capacity := int(float64(active) * cfg.PerServerRate * float64(cfg.Dt))
+		served := arrivals
+		if served > capacity {
+			res.Dropped += served - capacity
+			served = capacity
+			res.ViolationSlots++
+		}
+		res.Served += served
+
+		// Energy for the slot.
+		var util float64
+		if capacity > 0 {
+			util = float64(served) / float64(capacity)
+		}
+		perActive := cfg.IdlePower + units.Watts(float64(cfg.PeakPower-cfg.IdlePower)*util)
+		off := cfg.Servers - active - len(setups)
+		res.Energy += units.Joules(float64(units.Energy(perActive, cfg.Dt)) * float64(active))
+		res.Energy += units.Joules(float64(units.Energy(cfg.PeakPower, cfg.Dt)) * float64(len(setups)))
+		res.Energy += units.Joules(float64(units.Energy(cfg.SleepPower, cfg.Dt)) * float64(off))
+
+		sumActive += float64(active)
+		sumSetup += float64(len(setups))
+		res.Slots++
+
+		// Response-time QoS: the farm behind its load balancer is an
+		// M/M/c system; estimate the slot's mean response via Erlang C.
+		// An unstable slot (ρ ≥ 1) has unbounded response time — an
+		// automatic violation.
+		offered := float64(arrivals) / float64(cfg.Dt)
+		mmc := queueing.MMc{Lambda: offered, Mu: cfg.PerServerRate, C: maxInt(active, 1)}
+		rt, err := mmc.MeanResponse()
+		if err != nil {
+			return Result{}, err
+		}
+		if math.IsInf(rt, 1) || active == 0 {
+			res.RTViolationSlots++
+		} else {
+			sumRT += rt
+			rtSlots++
+			if units.Seconds(rt) > target {
+				res.RTViolationSlots++
+			}
+		}
+
+		// Observe, then decide the next slot's capacity.
+		obs := float64(arrivals) / float64(cfg.Dt)
+		if len(window) == cfg.WindowSlots {
+			copy(window, window[1:])
+			window = window[:cfg.WindowSlots-1]
+		}
+		window = append(window, obs)
+		target := pol.Target(History{Window: window, Now: now + cfg.Dt}, need)
+		if target > cfg.Servers {
+			target = cfg.Servers
+		}
+		if target < 1 {
+			target = 1
+		}
+
+		provisioned := active + len(setups)
+		switch {
+		case target > provisioned:
+			for i := 0; i < target-provisioned; i++ {
+				setups = append(setups, now+cfg.Dt+cfg.SetupTime)
+			}
+		case target < provisioned:
+			drop := provisioned - target
+			// Cancel pending setups first (cheapest), then stop actives.
+			for drop > 0 && len(setups) > 0 {
+				setups = setups[:len(setups)-1]
+				drop--
+			}
+			if drop > active-1 {
+				drop = active - 1
+			}
+			active -= drop
+		}
+	}
+
+	res.AvgActive = sumActive / float64(res.Slots)
+	res.AvgSetup = sumSetup / float64(res.Slots)
+	if rtSlots > 0 {
+		res.MeanResponse = sumRT / float64(rtSlots)
+	}
+	return res, nil
+}
+
+// Compare runs every policy against the same workload and returns the
+// results in input order.
+func Compare(cfg FarmConfig, pols []Policy, rate workload.RateFunc) ([]Result, error) {
+	out := make([]Result, 0, len(pols))
+	for _, p := range pols {
+		r, err := Simulate(cfg, p, rate)
+		if err != nil {
+			return nil, fmt.Errorf("policy %q: %w", p.Name(), err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// StandardSet returns fresh instances of the §3 policy line-up for a farm
+// with the given setup time and rate function (needed by the oracle).
+// The oracle here is throughput-optimal only; StandardSetFor builds one
+// that also knows the farm's service rate and response target.
+func StandardSet(setup units.Seconds, rate workload.RateFunc) []Policy {
+	return []Policy{
+		Reactive{},
+		ReactiveExtra{Margin: 0.2},
+		NewAutoScale(0.1, 12),
+		MovingWindow{},
+		LinearRegression{},
+		Oracle{Rate: rate, Setup: setup},
+	}
+}
+
+// StandardSetFor returns the standard line-up with an oracle fully
+// matched to the farm configuration (service rate and response-time
+// target), making it SLA-optimal rather than merely throughput-optimal.
+func StandardSetFor(cfg FarmConfig, rate workload.RateFunc) []Policy {
+	pols := StandardSet(cfg.SetupTime, rate)
+	pols[len(pols)-1] = Oracle{
+		Rate:     rate,
+		Setup:    cfg.SetupTime,
+		Mu:       cfg.PerServerRate,
+		RTTarget: cfg.ResponseTarget,
+	}
+	return pols
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"ealb/internal/units"
+)
+
+// Reference power curves in the 11-point SPECpower format (draw at 0%,
+// 10%, ..., 100% utilization). The shapes are representative of the
+// server generations the paper's discussion spans: the 2007-era volume
+// server whose idle draw is half of peak (§1), a later machine with
+// power-management features (§2 "newer processors include power saving
+// technologies"), and the ideal energy-proportional target of [5]. The
+// absolute levels are scaled to the paper's 200 W volume-server class.
+var referenceCurves = map[string][]units.Watts{
+	// Half of peak at idle, gently convex: the wasteful baseline.
+	"volume-2007": {100, 106, 112, 119, 127, 136, 146, 157, 169, 184, 200},
+	// Better gating: one third of peak at idle, steeper early growth.
+	"efficient-2012": {66, 74, 83, 93, 104, 116, 130, 145, 161, 180, 200},
+	// Barroso & Hölzle's target: near-zero idle, close to linear.
+	"proportional-target": {8, 26, 45, 64, 83, 102, 121, 141, 160, 180, 200},
+}
+
+// CurveNames lists the available reference curves in sorted order.
+func CurveNames() []string {
+	names := make([]string, 0, len(referenceCurves))
+	for n := range referenceCurves {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ReferenceCurve returns the named reference model.
+func ReferenceCurve(name string) (Piecewise, error) {
+	samples, ok := referenceCurves[name]
+	if !ok {
+		return Piecewise{}, fmt.Errorf("power: unknown reference curve %q (have %v)", name, CurveNames())
+	}
+	return NewPiecewise(append([]units.Watts(nil), samples...))
+}
+
+// TypicalOperatingCost returns the average power a model draws across the
+// 10-30% utilization band — the "typical operating region for data center
+// servers" the paper cites (§3: average utilization 10-30%). This single
+// number is what makes the generational comparison vivid: the region
+// where servers actually live is where the curves differ most.
+func TypicalOperatingCost(m Model) units.Watts {
+	var sum float64
+	n := 0
+	for u := 0.10; u <= 0.30+1e-9; u += 0.05 {
+		sum += float64(m.Power(units.Fraction(u)))
+		n++
+	}
+	return units.Watts(sum / float64(n))
+}

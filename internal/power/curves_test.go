@@ -1,0 +1,82 @@
+package power
+
+import (
+	"testing"
+
+	"ealb/internal/units"
+)
+
+func TestCurveNames(t *testing.T) {
+	names := CurveNames()
+	want := []string{"efficient-2012", "proportional-target", "volume-2007"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestReferenceCurveLookup(t *testing.T) {
+	for _, name := range CurveNames() {
+		m, err := ReferenceCurve(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Peak() != 200 {
+			t.Errorf("%s peak = %v, want 200 (normalized to the paper's class)", name, m.Peak())
+		}
+	}
+	if _, err := ReferenceCurve("nope"); err == nil {
+		t.Error("unknown curve must error")
+	}
+}
+
+func TestReferenceCurveIsACopy(t *testing.T) {
+	a, _ := ReferenceCurve("volume-2007")
+	a.Samples[0] = 0
+	b, _ := ReferenceCurve("volume-2007")
+	if b.Samples[0] != 100 {
+		t.Error("ReferenceCurve must return a defensive copy")
+	}
+}
+
+func TestGenerationalIdleOrdering(t *testing.T) {
+	// Idle draw improves across generations toward proportionality.
+	vol, _ := ReferenceCurve("volume-2007")
+	eff, _ := ReferenceCurve("efficient-2012")
+	prop, _ := ReferenceCurve("proportional-target")
+	if !(vol.Idle() > eff.Idle() && eff.Idle() > prop.Idle()) {
+		t.Errorf("idle ordering wrong: %v %v %v", vol.Idle(), eff.Idle(), prop.Idle())
+	}
+	// So does the dynamic range.
+	if !(DynamicRange(vol) < DynamicRange(eff) && DynamicRange(eff) < DynamicRange(prop)) {
+		t.Error("dynamic range must grow across generations")
+	}
+}
+
+func TestTypicalOperatingCost(t *testing.T) {
+	vol, _ := ReferenceCurve("volume-2007")
+	prop, _ := ReferenceCurve("proportional-target")
+	cv, cp := TypicalOperatingCost(vol), TypicalOperatingCost(prop)
+	if cv <= cp {
+		t.Errorf("volume server typical cost %v must exceed proportional %v", cv, cp)
+	}
+	// In the 10-30% band the wasteful server draws several times the
+	// proportional one — the premise of §1.
+	if float64(cv)/float64(cp) < 2 {
+		t.Errorf("typical-region ratio %v too small to motivate the paper", float64(cv)/float64(cp))
+	}
+}
+
+func TestTypicalOperatingCostLinear(t *testing.T) {
+	m, _ := NewLinear(100, 200)
+	got := TypicalOperatingCost(m)
+	// Average of 110,115,...,130 = 120.
+	if got < 119 || got > 121 {
+		t.Errorf("TypicalOperatingCost = %v, want ~120", got)
+	}
+	_ = units.Watts(0)
+}

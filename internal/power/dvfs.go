@@ -1,0 +1,116 @@
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"ealb/internal/units"
+)
+
+// PState is one dynamic voltage and frequency scaling operating point.
+// Dynamic CPU power scales as f·V² (the first-order CMOS model the DVFS
+// literature the paper cites [14] builds on), so each P-state trades
+// normalized performance (frequency) against a super-linear power saving.
+type PState struct {
+	Name string
+	Freq units.Fraction // clock relative to nominal, in (0,1]
+	Volt units.Fraction // core voltage relative to nominal, in (0,1]
+}
+
+// DVFS augments a base power model with a ladder of P-states. Utilization
+// is interpreted relative to the scaled capacity of the active P-state.
+type DVFS struct {
+	Base    Model
+	States  []PState // sorted by descending frequency; States[0] is nominal
+	current int
+}
+
+// NewDVFS validates the P-state ladder and returns a DVFS model pinned to
+// the nominal (fastest) state.
+func NewDVFS(base Model, states []PState) (*DVFS, error) {
+	if base == nil {
+		return nil, fmt.Errorf("power: DVFS needs a base model")
+	}
+	if len(states) == 0 {
+		return nil, fmt.Errorf("power: DVFS needs at least one P-state")
+	}
+	for _, s := range states {
+		if s.Freq <= 0 || s.Freq > 1 || s.Volt <= 0 || s.Volt > 1 {
+			return nil, fmt.Errorf("power: P-state %q has out-of-range freq=%v volt=%v", s.Name, s.Freq, s.Volt)
+		}
+	}
+	sorted := append([]PState(nil), states...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Freq > sorted[j].Freq })
+	return &DVFS{Base: base, States: sorted}, nil
+}
+
+// DefaultPStates is a representative five-step ladder (nominal down to 60%
+// clock with near-proportional voltage reduction).
+func DefaultPStates() []PState {
+	return []PState{
+		{Name: "P0", Freq: 1.00, Volt: 1.00},
+		{Name: "P1", Freq: 0.90, Volt: 0.95},
+		{Name: "P2", Freq: 0.80, Volt: 0.90},
+		{Name: "P3", Freq: 0.70, Volt: 0.85},
+		{Name: "P4", Freq: 0.60, Volt: 0.80},
+	}
+}
+
+// Current returns the active P-state.
+func (d *DVFS) Current() PState { return d.States[d.current] }
+
+// SetState activates P-state index i (0 = nominal).
+func (d *DVFS) SetState(i int) error {
+	if i < 0 || i >= len(d.States) {
+		return fmt.Errorf("power: P-state index %d out of range [0,%d)", i, len(d.States))
+	}
+	d.current = i
+	return nil
+}
+
+// Capacity returns the compute capacity of the active P-state relative to
+// nominal (equal to its frequency fraction).
+func (d *DVFS) Capacity() units.Fraction { return d.Current().Freq }
+
+// scale returns the dynamic-power multiplier f·V² of the active state.
+func (d *DVFS) scale() float64 {
+	s := d.Current()
+	return float64(s.Freq) * float64(s.Volt) * float64(s.Volt)
+}
+
+// Power implements Model. Utilization u is absolute (relative to nominal
+// capacity); demand beyond the scaled capacity saturates. Only the dynamic
+// component (draw above idle) scales with f·V²; the idle floor is static.
+func (d *DVFS) Power(u units.Fraction) units.Watts {
+	cap := d.Capacity()
+	eff := u.Clamp()
+	if eff > cap {
+		eff = cap
+	}
+	var rel units.Fraction
+	if cap > 0 {
+		rel = units.Fraction(float64(eff) / float64(cap))
+	}
+	dyn := float64(d.Base.Power(rel)-d.Base.Idle()) * d.scale()
+	return d.Base.Idle() + units.Watts(dyn)
+}
+
+// Idle implements Model.
+func (d *DVFS) Idle() units.Watts { return d.Base.Idle() }
+
+// Peak implements Model. Peak is the nominal-state full-load draw.
+func (d *DVFS) Peak() units.Watts { return d.Base.Peak() }
+
+// BestStateFor returns the index of the slowest (most power-saving)
+// P-state whose capacity still covers demand u, honouring the QoS
+// constraint that performance must not degrade.
+func (d *DVFS) BestStateFor(u units.Fraction) int {
+	u = u.Clamp()
+	best := 0
+	for i, s := range d.States {
+		if s.Freq >= u {
+			best = i
+		}
+	}
+	return best
+}

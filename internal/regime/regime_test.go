@@ -1,0 +1,235 @@
+package regime
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ealb/internal/units"
+	"ealb/internal/xrand"
+)
+
+func testBoundaries() Boundaries {
+	return Boundaries{SoptLow: 0.22, OptLow: 0.35, OptHigh: 0.70, SoptHigh: 0.82}
+}
+
+func TestRegionString(t *testing.T) {
+	want := map[Region]string{R1: "R1", R2: "R2", R3: "R3", R4: "R4", R5: "R5"}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(r), r.String(), s)
+		}
+	}
+	if Region(0).String() != "Region(0)" {
+		t.Error("unknown region must render with value")
+	}
+}
+
+func TestRegionPredicates(t *testing.T) {
+	if !R1.Underloaded() || !R2.Underloaded() || R3.Underloaded() {
+		t.Error("Underloaded wrong")
+	}
+	if !R4.Overloaded() || !R5.Overloaded() || R3.Overloaded() {
+		t.Error("Overloaded wrong")
+	}
+	if R3.Urgency() != 0 || R2.Urgency() != 1 || R4.Urgency() != 1 || R1.Urgency() != 2 || R5.Urgency() != 2 {
+		t.Error("Urgency ranking wrong")
+	}
+	if Region(0).Valid() || Region(6).Valid() || !R3.Valid() {
+		t.Error("Valid wrong")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	b := testBoundaries()
+	tests := []struct {
+		load units.Fraction
+		want Region
+	}{
+		{0.0, R1},
+		{0.10, R1},
+		{0.219, R1},
+		{0.22, R2}, // SoptLow inclusive into R2 per eq. (2)
+		{0.30, R2},
+		{0.349, R2},
+		{0.35, R3}, // OptLow inclusive into R3 per eq. (3)
+		{0.50, R3},
+		{0.70, R3}, // OptHigh inclusive into R3
+		{0.71, R4},
+		{0.82, R4}, // SoptHigh inclusive into R4 per eq. (4)
+		{0.83, R5},
+		{1.0, R5},
+	}
+	for _, tt := range tests {
+		if got := b.Classify(tt.load); got != tt.want {
+			t.Errorf("Classify(%v) = %v, want %v", tt.load, got, tt.want)
+		}
+	}
+}
+
+func TestClassifyClampsInput(t *testing.T) {
+	b := testBoundaries()
+	if b.Classify(-0.5) != R1 {
+		t.Error("negative load must classify as R1")
+	}
+	if b.Classify(1.5) != R5 {
+		t.Error("load above 1 must classify as R5")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testBoundaries().Validate(); err != nil {
+		t.Errorf("valid boundaries rejected: %v", err)
+	}
+	bad := []Boundaries{
+		{SoptLow: 0.4, OptLow: 0.3, OptHigh: 0.7, SoptHigh: 0.8},  // unordered
+		{SoptLow: 0.2, OptLow: 0.3, OptHigh: 0.9, SoptHigh: 0.8},  // unordered
+		{SoptLow: -0.1, OptLow: 0.3, OptHigh: 0.7, SoptHigh: 0.8}, // out of range
+		{SoptLow: 0.2, OptLow: 0.3, OptHigh: 0.7, SoptHigh: 1.2},  // out of range
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: invalid boundaries accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestOptimalTarget(t *testing.T) {
+	b := testBoundaries()
+	want := units.Fraction((0.35 + 0.70) / 2)
+	if got := b.OptimalTarget(); !almostEq(got, want) {
+		t.Errorf("OptimalTarget = %v, want %v", got, want)
+	}
+	if b.Classify(b.OptimalTarget()) != R3 {
+		t.Error("optimal target must lie in R3")
+	}
+}
+
+func TestHeadroomExcessDeficit(t *testing.T) {
+	b := testBoundaries()
+	if got := b.Headroom(0.5); !almostEq(got, 0.2) {
+		t.Errorf("Headroom(0.5) = %v, want 0.2", got)
+	}
+	if b.Headroom(0.9) != 0 {
+		t.Error("no headroom above OptHigh")
+	}
+	if got := b.Excess(0.9); !almostEq(got, 0.2) {
+		t.Errorf("Excess(0.9) = %v, want 0.2", got)
+	}
+	if b.Excess(0.5) != 0 {
+		t.Error("no excess below OptHigh")
+	}
+	if got := b.Deficit(0.15); !almostEq(got, 0.2) {
+		t.Errorf("Deficit(0.15) = %v, want 0.2", got)
+	}
+	if b.Deficit(0.5) != 0 {
+		t.Error("no deficit above OptLow")
+	}
+}
+
+func almostEq(a, b units.Fraction) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func TestDefaultRangesMatchPaper(t *testing.T) {
+	p := DefaultRanges()
+	if p.SoptLow != [2]float64{0.20, 0.25} ||
+		p.OptLow != [2]float64{0.25, 0.45} ||
+		p.OptHigh != [2]float64{0.55, 0.80} ||
+		p.SoptHigh != [2]float64{0.80, 0.85} {
+		t.Errorf("ranges diverge from §4: %+v", p)
+	}
+}
+
+func TestRandomBoundariesAlwaysValid(t *testing.T) {
+	rng := xrand.New(99)
+	p := DefaultRanges()
+	for i := 0; i < 10000; i++ {
+		b, err := p.Random(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.SoptLow < 0.20 || b.SoptLow >= 0.25 ||
+			b.OptLow < 0.25 || b.OptLow >= 0.45 ||
+			b.OptHigh < 0.55 || b.OptHigh >= 0.80 ||
+			b.SoptHigh < 0.80 || b.SoptHigh >= 0.85 {
+			t.Fatalf("boundaries outside paper ranges: %+v", b)
+		}
+	}
+}
+
+func TestWithDelta(t *testing.T) {
+	b, err := WithDelta(0.65, 0.065) // δ = 0.1 × 0.65
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(b.OptLow, 0.585) || !almostEq(b.OptHigh, 0.715) {
+		t.Errorf("optimal region = [%v,%v]", b.OptLow, b.OptHigh)
+	}
+	if !almostEq(b.SoptLow, 0.52) || !almostEq(b.SoptHigh, 0.78) {
+		t.Errorf("suboptimal bands = [%v,%v]", b.SoptLow, b.SoptHigh)
+	}
+	if _, err := WithDelta(1.5, 0.05); err == nil {
+		t.Error("invalid opt must error")
+	}
+	if _, err := WithDelta(0.5, -0.1); err == nil {
+		t.Error("negative delta must error")
+	}
+	// Clamping near the edges keeps boundaries valid.
+	if bb, err := WithDelta(0.02, 0.05); err != nil || bb.SoptLow != 0 {
+		t.Errorf("edge clamping failed: %+v err=%v", bb, err)
+	}
+}
+
+func TestCount(t *testing.T) {
+	b := testBoundaries()
+	bs := []Boundaries{b, b, b, b, b}
+	loads := []units.Fraction{0.1, 0.3, 0.5, 0.75, 0.9}
+	got, err := Count(bs, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [5]int{1, 1, 1, 1, 1}
+	if got != want {
+		t.Errorf("Count = %v, want %v", got, want)
+	}
+	if _, err := Count(bs[:2], loads); err == nil {
+		t.Error("mismatched lengths must error")
+	}
+}
+
+func TestClassifyTotalProperty(t *testing.T) {
+	// Every load maps to exactly one valid region, and the region is
+	// monotone in load.
+	rng := xrand.New(7)
+	p := DefaultRanges()
+	f := func(l1, l2 float64) bool {
+		b, err := p.Random(rng)
+		if err != nil {
+			return false
+		}
+		a := units.Fraction(mod1(l1))
+		c := units.Fraction(mod1(l2))
+		if a > c {
+			a, c = c, a
+		}
+		ra, rc := b.Classify(a), b.Classify(c)
+		return ra.Valid() && rc.Valid() && ra <= rc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mod1(x float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	for x > 1 {
+		x /= 10
+	}
+	return x
+}

@@ -1,0 +1,349 @@
+// Package server models one cluster member: the paper's server S_k.
+//
+// Per §4, a server maintains static information (its ID and the regime
+// boundaries α^sopt,l_k … α^sopt,h_k) and dynamic information (number of
+// applications, load, operating regime, CPU sleep state). At the end of
+// each reallocation interval it evaluates the regime for the next interval
+// and computes the costs for horizontal scaling q_k(t+τ), vertical scaling
+// p_k(t+τ), and leader communication j_k(t+τ). The server also owns its
+// energy account: the integral of its power draw — operational draw from
+// the power model while running, sleep-state draw from the ACPI table
+// while parked, plus transition energy.
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"ealb/internal/acpi"
+	"ealb/internal/app"
+	"ealb/internal/migration"
+	"ealb/internal/power"
+	"ealb/internal/regime"
+	"ealb/internal/units"
+	"ealb/internal/vm"
+)
+
+// ID identifies a server within its cluster.
+type ID int
+
+// Hosted pairs an application with the VM that runs it.
+type Hosted struct {
+	App *app.App
+	VM  *vm.VM
+}
+
+// Config assembles a server's static configuration.
+type Config struct {
+	ID         ID
+	Boundaries regime.Boundaries
+	Power      power.Model
+	SleepSpecs map[acpi.CState]acpi.Spec // nil selects acpi.DefaultSpecs
+	// Migration prices in-cluster VM moves for the q_k estimate.
+	Migration migration.Params
+	// ControlMsgEnergy prices one leader round-trip for the j_k estimate.
+	ControlMsgEnergy units.Joules
+	// VerticalCostEnergy is the fixed (small) cost of a local vertical
+	// scaling action p_k: a hypervisor reconfiguration, no data movement.
+	VerticalCostEnergy units.Joules
+}
+
+// Server is one simulated cluster member.
+type Server struct {
+	id         ID
+	boundaries regime.Boundaries
+	pm         power.Model
+	acpi       *acpi.Manager
+	cfg        Config
+
+	hosted map[app.ID]Hosted
+	order  []app.ID // deterministic iteration order
+
+	energy      units.Joules
+	lastAccount units.Seconds
+}
+
+// New builds a server in C0 with no load.
+func New(cfg Config) (*Server, error) {
+	if cfg.Power == nil {
+		return nil, fmt.Errorf("server %d: nil power model", cfg.ID)
+	}
+	if err := cfg.Boundaries.Validate(); err != nil {
+		return nil, fmt.Errorf("server %d: %w", cfg.ID, err)
+	}
+	if err := cfg.Migration.Validate(); err != nil {
+		return nil, fmt.Errorf("server %d: %w", cfg.ID, err)
+	}
+	if cfg.ControlMsgEnergy < 0 || cfg.VerticalCostEnergy < 0 {
+		return nil, fmt.Errorf("server %d: negative cost parameter", cfg.ID)
+	}
+	mgr, err := acpi.NewManager(cfg.Power.Peak(), cfg.SleepSpecs)
+	if err != nil {
+		return nil, fmt.Errorf("server %d: %w", cfg.ID, err)
+	}
+	return &Server{
+		id:         cfg.ID,
+		boundaries: cfg.Boundaries,
+		pm:         cfg.Power,
+		acpi:       mgr,
+		cfg:        cfg,
+		hosted:     make(map[app.ID]Hosted),
+	}, nil
+}
+
+// ID returns the server's identifier.
+func (s *Server) ID() ID { return s.id }
+
+// Boundaries returns the server's regime thresholds.
+func (s *Server) Boundaries() regime.Boundaries { return s.boundaries }
+
+// PowerModel returns the server's power model.
+func (s *Server) PowerModel() power.Model { return s.pm }
+
+// CState returns the current ACPI state.
+func (s *Server) CState() acpi.CState { return s.acpi.State() }
+
+// Sleeping reports whether the server is in any sleep state.
+func (s *Server) Sleeping() bool { return s.acpi.State().Sleeping() }
+
+// CStateBusy reports whether an ACPI transition (sleep entry or wake-up)
+// is still in flight at time now; a busy server cannot take part in the
+// reallocation protocol.
+func (s *Server) CStateBusy(now units.Seconds) bool { return s.acpi.Busy(now) }
+
+// NumApps returns the number of hosted applications.
+func (s *Server) NumApps() int { return len(s.hosted) }
+
+// Load returns the server's normalized load: the sum of hosted application
+// demands, clamped to capacity.
+func (s *Server) Load() units.Fraction {
+	return s.RawDemand().Clamp()
+}
+
+// RawDemand returns the unclamped demand sum; above 1 the server is
+// saturated and applications are being throttled (an SLA concern).
+// Summation follows insertion order so results are bit-for-bit
+// reproducible (map order would reorder float additions).
+func (s *Server) RawDemand() units.Fraction {
+	var sum units.Fraction
+	for _, id := range s.order {
+		if h, ok := s.hosted[id]; ok {
+			sum += h.App.Demand
+		}
+	}
+	return sum
+}
+
+// Regime classifies the server's current load (§4 eqs. 1-5).
+func (s *Server) Regime() regime.Region { return s.boundaries.Classify(s.Load()) }
+
+// Hosted returns the hosted pairs in deterministic (insertion) order.
+func (s *Server) Hosted() []Hosted {
+	out := make([]Hosted, 0, len(s.order))
+	for _, id := range s.order {
+		if h, ok := s.hosted[id]; ok {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Lookup returns the hosted pair for an application ID.
+func (s *Server) Lookup(id app.ID) (Hosted, bool) {
+	h, ok := s.hosted[id]
+	return h, ok
+}
+
+// Place adds an application (and its VM) to the server. The server must
+// be running; the paper's protocol wakes a server before directing load
+// to it.
+func (s *Server) Place(h Hosted, now units.Seconds) error {
+	if h.App == nil || h.VM == nil {
+		return fmt.Errorf("server %d: placing nil app or VM", s.id)
+	}
+	if s.Sleeping() {
+		return fmt.Errorf("server %d: cannot place app %d on a sleeping server (%v)", s.id, h.App.ID, s.CState())
+	}
+	if s.acpi.Busy(now) {
+		return fmt.Errorf("server %d: still waking until %v", s.id, s.acpi.ReadyAt())
+	}
+	if _, dup := s.hosted[h.App.ID]; dup {
+		return fmt.Errorf("server %d: app %d already hosted", s.id, h.App.ID)
+	}
+	s.hosted[h.App.ID] = h
+	s.order = append(s.order, h.App.ID)
+	return nil
+}
+
+// Remove detaches an application from the server and returns its pair.
+func (s *Server) Remove(id app.ID) (Hosted, error) {
+	h, ok := s.hosted[id]
+	if !ok {
+		return Hosted{}, fmt.Errorf("server %d: app %d not hosted", s.id, id)
+	}
+	delete(s.hosted, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return h, nil
+}
+
+// AccountTo integrates the server's power draw up to time now and returns
+// the energy added. Running draw comes from the power model at the
+// current load; sleeping draw from the ACPI table. The caller must invoke
+// it whenever load or state is about to change so the integral uses the
+// correct power level for each segment.
+func (s *Server) AccountTo(now units.Seconds) (units.Joules, error) {
+	if now < s.lastAccount {
+		return 0, fmt.Errorf("server %d: accounting backwards from %v to %v", s.id, s.lastAccount, now)
+	}
+	d := now - s.lastAccount
+	var p units.Watts
+	if s.Sleeping() {
+		p = s.acpi.SleepPower()
+	} else {
+		p = s.pm.Power(s.Load())
+	}
+	e := units.Energy(p, d)
+	s.energy += e
+	s.lastAccount = now
+	return e, nil
+}
+
+// Energy returns the cumulative energy account including ACPI transition
+// costs.
+func (s *Server) Energy() units.Joules { return s.energy + s.acpi.TransitionEnergy() }
+
+// SkipTo advances the accounting clock to now without charging energy —
+// used for periods in which the server is powered off entirely (crashed
+// and awaiting repair), when neither the power model nor the ACPI sleep
+// table applies.
+func (s *Server) SkipTo(now units.Seconds) error {
+	if now < s.lastAccount {
+		return fmt.Errorf("server %d: skipping backwards from %v to %v", s.id, s.lastAccount, now)
+	}
+	s.lastAccount = now
+	return nil
+}
+
+// Sleep accounts energy to now and parks the server in target. A loaded
+// server cannot sleep — the protocol must migrate its workload away first.
+func (s *Server) Sleep(target acpi.CState, now units.Seconds) error {
+	if s.NumApps() > 0 {
+		return fmt.Errorf("server %d: cannot sleep with %d hosted apps", s.id, s.NumApps())
+	}
+	if _, err := s.AccountTo(now); err != nil {
+		return err
+	}
+	_, err := s.acpi.Sleep(target, now)
+	return err
+}
+
+// Wake accounts energy to now and begins the wake transition; the server
+// is operational at the returned time.
+func (s *Server) Wake(now units.Seconds) (units.Seconds, error) {
+	if _, err := s.AccountTo(now); err != nil {
+		return 0, err
+	}
+	return s.acpi.Wake(now)
+}
+
+// WakeLatency returns how long a wake from the current state takes.
+func (s *Server) WakeLatency() (units.Seconds, error) {
+	spec, err := s.acpi.Spec(s.acpi.State())
+	if err != nil {
+		return 0, err
+	}
+	return spec.WakeLatency, nil
+}
+
+// Evaluation is the end-of-interval self-assessment of §4: the projected
+// regime plus the three cost estimates the server reports to the leader.
+type Evaluation struct {
+	Server  ID
+	Load    units.Fraction
+	Regime  regime.Region
+	NumApps int
+	// QCost estimates one horizontal scaling action (in-cluster VM
+	// migration) in Joules.
+	QCost units.Joules
+	// PCost estimates one vertical scaling action (local) in Joules.
+	PCost units.Joules
+	// JCost estimates the interval's leader communication in Joules.
+	JCost units.Joules
+}
+
+// Evaluate computes the server's evaluation for the next interval. The
+// q_k estimate prices migrating the server's largest VM — the one the
+// negotiation step would move first.
+func (s *Server) Evaluate() (Evaluation, error) {
+	ev := Evaluation{
+		Server:  s.id,
+		Load:    s.Load(),
+		Regime:  s.Regime(),
+		NumApps: s.NumApps(),
+		PCost:   s.cfg.VerticalCostEnergy,
+	}
+	// j_k: one report plus one candidate-list round trip per interval,
+	// scaled by how much negotiation the regime implies.
+	msgs := 2.0
+	if ev.Regime != regime.R3 {
+		msgs += 2 // negotiation traffic
+	}
+	ev.JCost = units.Joules(msgs * float64(s.cfg.ControlMsgEnergy))
+
+	if v := s.largestVM(); v != nil {
+		res, err := migration.Live(v, s.cfg.Migration)
+		if err != nil {
+			return Evaluation{}, fmt.Errorf("server %d: %w", s.id, err)
+		}
+		ev.QCost = res.Energy
+	} else {
+		// Nothing to migrate: price a minimal image start instead.
+		ev.QCost = s.cfg.ControlMsgEnergy
+	}
+	return ev, nil
+}
+
+// largestVM returns the hosted VM with the largest CPU share, or nil.
+func (s *Server) largestVM() *vm.VM {
+	var best *vm.VM
+	var bestShare units.Fraction
+	for _, id := range s.order {
+		h, ok := s.hosted[id]
+		if !ok {
+			continue
+		}
+		if best == nil || h.App.Demand > bestShare {
+			best, bestShare = h.VM, h.App.Demand
+		}
+	}
+	return best
+}
+
+// AppsByDemand returns hosted pairs sorted by descending demand, the order
+// in which the protocol sheds load (largest first empties a server in the
+// fewest migrations).
+func (s *Server) AppsByDemand() []Hosted {
+	out := s.Hosted()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].App.Demand > out[j].App.Demand })
+	return out
+}
+
+// Headroom returns spare capacity before the load leaves the optimal
+// region upward.
+func (s *Server) Headroom() units.Fraction { return s.boundaries.Headroom(s.Load()) }
+
+// Excess returns the load above the optimal region's upper edge.
+func (s *Server) Excess() units.Fraction { return s.boundaries.Excess(s.Load()) }
+
+// SyncVMs copies every application's current demand into its VM's CPU
+// share so migration volumes reflect the load being moved.
+func (s *Server) SyncVMs() {
+	for _, h := range s.hosted {
+		h.VM.CPUShare = h.App.Demand
+	}
+}

@@ -1,0 +1,379 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"ealb/internal/acpi"
+	"ealb/internal/app"
+	"ealb/internal/migration"
+	"ealb/internal/power"
+	"ealb/internal/regime"
+	"ealb/internal/units"
+	"ealb/internal/vm"
+)
+
+func testConfig(t *testing.T, id ID) Config {
+	t.Helper()
+	pm, err := power.NewLinear(100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		ID:                 id,
+		Boundaries:         regime.Boundaries{SoptLow: 0.22, OptLow: 0.35, OptHigh: 0.70, SoptHigh: 0.82},
+		Power:              pm,
+		Migration:          migration.DefaultParams(),
+		ControlMsgEnergy:   0.01,
+		VerticalCostEnergy: 0.5,
+	}
+}
+
+func newServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(testConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func hosted(t *testing.T, aid app.ID, demand units.Fraction) Hosted {
+	t.Helper()
+	a, err := app.New(aid, demand, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vm.New(vm.ID(aid), vm.Config{
+		Memory: units.GB, ImageSize: 2 * units.GB, CPUShare: demand, DirtyRate: 20 * units.MB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetState(vm.Running); err != nil {
+		t.Fatal(err)
+	}
+	return Hosted{App: a, VM: v}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.Power = nil
+	if _, err := New(cfg); err == nil {
+		t.Error("nil power model must fail")
+	}
+	cfg = testConfig(t, 1)
+	cfg.Boundaries.SoptLow = 0.9
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid boundaries must fail")
+	}
+	cfg = testConfig(t, 1)
+	cfg.Migration.Bandwidth = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid migration params must fail")
+	}
+	cfg = testConfig(t, 1)
+	cfg.ControlMsgEnergy = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative cost must fail")
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	s := newServer(t)
+	if s.CState() != acpi.C0 {
+		t.Error("server must start in C0")
+	}
+	if s.Load() != 0 || s.NumApps() != 0 {
+		t.Error("server must start empty")
+	}
+	if s.Regime() != regime.R1 {
+		t.Errorf("empty server regime = %v, want R1", s.Regime())
+	}
+}
+
+func TestPlaceAndLoad(t *testing.T) {
+	s := newServer(t)
+	if err := s.Place(hosted(t, 1, 0.3), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(hosted(t, 2, 0.25), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Load(); math.Abs(float64(got)-0.55) > 1e-9 {
+		t.Errorf("Load = %v, want 0.55", got)
+	}
+	if s.Regime() != regime.R3 {
+		t.Errorf("Regime = %v, want R3", s.Regime())
+	}
+	if s.NumApps() != 2 {
+		t.Errorf("NumApps = %d", s.NumApps())
+	}
+}
+
+func TestPlaceRejectsDuplicatesAndNil(t *testing.T) {
+	s := newServer(t)
+	h := hosted(t, 1, 0.3)
+	if err := s.Place(h, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(h, 0); err == nil {
+		t.Error("duplicate placement must fail")
+	}
+	if err := s.Place(Hosted{}, 0); err == nil {
+		t.Error("nil pair must fail")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := newServer(t)
+	_ = s.Place(hosted(t, 1, 0.3), 0)
+	_ = s.Place(hosted(t, 2, 0.2), 0)
+	h, err := s.Remove(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.App.ID != 1 {
+		t.Errorf("removed app %d, want 1", h.App.ID)
+	}
+	if s.NumApps() != 1 || math.Abs(float64(s.Load())-0.2) > 1e-9 {
+		t.Errorf("after removal: apps=%d load=%v", s.NumApps(), s.Load())
+	}
+	if _, err := s.Remove(1); err == nil {
+		t.Error("removing absent app must fail")
+	}
+}
+
+func TestHostedDeterministicOrder(t *testing.T) {
+	s := newServer(t)
+	for i := app.ID(1); i <= 5; i++ {
+		_ = s.Place(hosted(t, i, 0.1), 0)
+	}
+	hs := s.Hosted()
+	for i, h := range hs {
+		if h.App.ID != app.ID(i+1) {
+			t.Fatalf("order not insertion order: %v", hs)
+		}
+	}
+}
+
+func TestRawDemandVsLoad(t *testing.T) {
+	s := newServer(t)
+	_ = s.Place(hosted(t, 1, 0.8), 0)
+	_ = s.Place(hosted(t, 2, 0.6), 0)
+	if s.Load() != 1 {
+		t.Errorf("Load must clamp at 1, got %v", s.Load())
+	}
+	if math.Abs(float64(s.RawDemand())-1.4) > 1e-9 {
+		t.Errorf("RawDemand = %v, want 1.4", s.RawDemand())
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	s := newServer(t)
+	_ = s.Place(hosted(t, 1, 0.5), 0)
+	// At load 0.5 the linear 100-200 model draws 150 W.
+	e, err := s.AccountTo(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(e)-1500) > 1e-9 {
+		t.Errorf("10s at 150W = %v, want 1500 J", e)
+	}
+	if math.Abs(float64(s.Energy())-1500) > 1e-9 {
+		t.Errorf("Energy = %v", s.Energy())
+	}
+	if _, err := s.AccountTo(5); err == nil {
+		t.Error("accounting backwards must fail")
+	}
+}
+
+func TestSleepWakeEnergyFlow(t *testing.T) {
+	s := newServer(t)
+	if err := s.Sleep(acpi.C3, 100); err != nil {
+		t.Fatal(err)
+	}
+	// 100s idle at 100 W before sleeping.
+	if math.Abs(float64(s.Energy())-10000) > 100 {
+		t.Errorf("pre-sleep energy = %v, want ~10000 J (+ enter cost)", s.Energy())
+	}
+	if !s.Sleeping() {
+		t.Error("server must be sleeping")
+	}
+	// 1000s parked in C3 at 0.15×200 = 30 W.
+	pre := s.Energy()
+	if _, err := s.AccountTo(1100); err != nil {
+		t.Fatal(err)
+	}
+	slept := float64(s.Energy() - pre)
+	if math.Abs(slept-30000) > 1 {
+		t.Errorf("sleep segment = %v J, want 30000", slept)
+	}
+	ready, err := s.Wake(1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready != 1130 { // C3 wake latency 30s
+		t.Errorf("wake completes at %v, want 1130", ready)
+	}
+	if s.Sleeping() {
+		t.Error("server must be awake")
+	}
+}
+
+func TestSleepRejectsLoadedServer(t *testing.T) {
+	s := newServer(t)
+	_ = s.Place(hosted(t, 1, 0.3), 0)
+	if err := s.Sleep(acpi.C6, 10); err == nil {
+		t.Error("sleeping a loaded server must fail")
+	}
+}
+
+func TestPlaceRejectsSleepingServer(t *testing.T) {
+	s := newServer(t)
+	if err := s.Sleep(acpi.C6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(hosted(t, 1, 0.3), 10); err == nil {
+		t.Error("placing on a sleeping server must fail")
+	}
+	// After wake completes, placement works again.
+	ready, err := s.Wake(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(hosted(t, 1, 0.3), ready-1); err == nil {
+		t.Error("placing during wake transition must fail")
+	}
+	if err := s.Place(hosted(t, 1, 0.3), ready); err != nil {
+		t.Errorf("placing after wake: %v", err)
+	}
+}
+
+func TestWakeLatency(t *testing.T) {
+	s := newServer(t)
+	_ = s.Sleep(acpi.C6, 0)
+	lat, err := s.WakeLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 260 {
+		t.Errorf("C6 wake latency = %v, want 260s", lat)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	s := newServer(t)
+	_ = s.Place(hosted(t, 1, 0.5), 0)
+	ev, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Regime != regime.R3 || ev.NumApps != 1 {
+		t.Errorf("evaluation = %+v", ev)
+	}
+	if ev.QCost <= ev.PCost {
+		t.Errorf("horizontal cost %v must exceed vertical cost %v (the premise of Fig. 3)", ev.QCost, ev.PCost)
+	}
+	if ev.JCost <= 0 {
+		t.Error("leader communication must cost something")
+	}
+}
+
+func TestEvaluateEmptyServer(t *testing.T) {
+	s := newServer(t)
+	ev, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Regime != regime.R1 || ev.QCost <= 0 {
+		t.Errorf("empty evaluation = %+v", ev)
+	}
+}
+
+func TestEvaluateJCostGrowsOffOptimal(t *testing.T) {
+	s := newServer(t)
+	_ = s.Place(hosted(t, 1, 0.5), 0) // R3
+	evOpt, _ := s.Evaluate()
+	s2 := newServer(t)
+	_ = s2.Place(hosted(t, 1, 0.9), 0) // R5
+	evBad, _ := s2.Evaluate()
+	if evBad.JCost <= evOpt.JCost {
+		t.Error("off-optimal regimes imply negotiation traffic: higher j_k")
+	}
+}
+
+func TestAppsByDemand(t *testing.T) {
+	s := newServer(t)
+	_ = s.Place(hosted(t, 1, 0.1), 0)
+	_ = s.Place(hosted(t, 2, 0.4), 0)
+	_ = s.Place(hosted(t, 3, 0.2), 0)
+	hs := s.AppsByDemand()
+	if hs[0].App.ID != 2 || hs[1].App.ID != 3 || hs[2].App.ID != 1 {
+		t.Errorf("AppsByDemand order wrong: %v %v %v", hs[0].App.ID, hs[1].App.ID, hs[2].App.ID)
+	}
+}
+
+func TestHeadroomExcess(t *testing.T) {
+	s := newServer(t)
+	_ = s.Place(hosted(t, 1, 0.5), 0)
+	if got := s.Headroom(); math.Abs(float64(got)-0.2) > 1e-9 {
+		t.Errorf("Headroom = %v, want 0.2", got)
+	}
+	if s.Excess() != 0 {
+		t.Error("no excess in R3")
+	}
+	_ = s.Place(hosted(t, 2, 0.4), 0)
+	if got := s.Excess(); math.Abs(float64(got)-0.2) > 1e-9 {
+		t.Errorf("Excess = %v, want 0.2", got)
+	}
+}
+
+func TestSyncVMs(t *testing.T) {
+	s := newServer(t)
+	h := hosted(t, 1, 0.3)
+	_ = s.Place(h, 0)
+	h.App.Demand = 0.45
+	s.SyncVMs()
+	if h.VM.CPUShare != 0.45 {
+		t.Errorf("VM share = %v, want synced 0.45", h.VM.CPUShare)
+	}
+}
+
+func TestSkipTo(t *testing.T) {
+	s := newServer(t)
+	_ = s.Place(hosted(t, 1, 0.5), 0)
+	if _, err := s.AccountTo(10); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Energy()
+	// A powered-off gap: no energy charged.
+	if err := s.SkipTo(100); err != nil {
+		t.Fatal(err)
+	}
+	if s.Energy() != before {
+		t.Errorf("SkipTo charged energy: %v -> %v", before, s.Energy())
+	}
+	// Accounting resumes from the skip point.
+	if _, err := s.AccountTo(110); err != nil {
+		t.Fatal(err)
+	}
+	added := float64(s.Energy() - before)
+	if added < 1499 || added > 1501 { // 10s at 150W
+		t.Errorf("post-skip segment = %v J, want 1500", added)
+	}
+	if err := s.SkipTo(50); err == nil {
+		t.Error("skipping backwards must fail")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s := newServer(t)
+	_ = s.Place(hosted(t, 7, 0.2), 0)
+	if _, ok := s.Lookup(7); !ok {
+		t.Error("Lookup(7) must find the app")
+	}
+	if _, ok := s.Lookup(8); ok {
+		t.Error("Lookup(8) must miss")
+	}
+}

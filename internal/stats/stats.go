@@ -1,0 +1,267 @@
+// Package stats provides the statistical primitives the experiments rely
+// on: numerically stable running moments (Welford), histograms, quantiles,
+// time series with summary statistics, and ordinary least-squares linear
+// regression (used by the predictive capacity-management policies).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates a stream of observations and exposes numerically
+// stable moments. The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+	min  float64
+	max  float64
+}
+
+// Add records one observation (Welford's online algorithm).
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the number of observations recorded.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the population variance, or 0 with fewer than two
+// observations.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// SampleVariance returns the unbiased (n-1) variance, or 0 with fewer than
+// two observations.
+func (r *Running) SampleVariance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// SampleStdDev returns the sample standard deviation.
+func (r *Running) SampleStdDev() float64 { return math.Sqrt(r.SampleVariance()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (r *Running) Max() float64 { return r.max }
+
+// Merge folds the observations of other into r (parallel-reduction form of
+// Welford's update, Chan et al.).
+func (r *Running) Merge(other *Running) {
+	if other.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = *other
+		return
+	}
+	n := r.n + other.n
+	delta := other.mean - r.mean
+	r.m2 += other.m2 + delta*delta*float64(r.n)*float64(other.n)/float64(n)
+	r.mean += delta * float64(other.n) / float64(n)
+	if other.min < r.min {
+		r.min = other.min
+	}
+	if other.max > r.max {
+		r.max = other.max
+	}
+	r.n = n
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	return r.StdDev()
+}
+
+// SampleStdDev returns the sample (n-1) standard deviation of xs.
+func SampleStdDev(xs []float64) float64 {
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	return r.SampleStdDev()
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of xs by linear interpolation
+// between closest ranks. It returns 0 for an empty slice and does not
+// modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Histogram is a fixed-bin histogram over [Lo,Hi). Values outside the
+// range are clamped into the first/last bin so no observation is lost.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given number of bins covering
+// [lo,hi). It panics on a non-positive bin count or an empty interval.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram interval is empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Fractions returns each bin's share of the total, or all zeros when empty.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// TimeSeries is an append-only sequence of (index, value) observations, one
+// per reallocation interval in the cluster experiments.
+type TimeSeries struct {
+	Values []float64
+}
+
+// Append records the next observation.
+func (ts *TimeSeries) Append(v float64) { ts.Values = append(ts.Values, v) }
+
+// Len returns the number of observations.
+func (ts *TimeSeries) Len() int { return len(ts.Values) }
+
+// Mean returns the mean of the series.
+func (ts *TimeSeries) Mean() float64 { return Mean(ts.Values) }
+
+// StdDev returns the population standard deviation of the series.
+func (ts *TimeSeries) StdDev() float64 { return StdDev(ts.Values) }
+
+// Tail returns the trailing n observations (all of them when n exceeds the
+// length).
+func (ts *TimeSeries) Tail(n int) []float64 {
+	if n >= len(ts.Values) {
+		return ts.Values
+	}
+	return ts.Values[len(ts.Values)-n:]
+}
+
+// LinReg holds the coefficients of a fitted line y = Alpha + Beta*x.
+type LinReg struct {
+	Alpha, Beta float64
+	N           int
+}
+
+// FitLine computes the ordinary least-squares fit of ys against xs. It
+// returns an error when the inputs are mismatched, too short, or xs has no
+// variance (vertical line).
+func FitLine(xs, ys []float64) (LinReg, error) {
+	if len(xs) != len(ys) {
+		return LinReg{}, fmt.Errorf("stats: FitLine input lengths differ: %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return LinReg{}, fmt.Errorf("stats: FitLine needs at least 2 points, got %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return LinReg{}, fmt.Errorf("stats: FitLine x values are all identical")
+	}
+	beta := sxy / sxx
+	return LinReg{Alpha: my - beta*mx, Beta: beta, N: len(xs)}, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (l LinReg) Predict(x float64) float64 { return l.Alpha + l.Beta*x }

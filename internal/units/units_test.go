@@ -1,0 +1,188 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnergy(t *testing.T) {
+	tests := []struct {
+		p    Watts
+		d    Seconds
+		want Joules
+	}{
+		{100, 10, 1000},
+		{0, 100, 0},
+		{250, 0, 0},
+		{1.5, 2, 3},
+	}
+	for _, tt := range tests {
+		if got := Energy(tt.p, tt.d); got != tt.want {
+			t.Errorf("Energy(%v,%v) = %v, want %v", tt.p, tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestPower(t *testing.T) {
+	if got := Power(1000, 10); got != 100 {
+		t.Errorf("Power(1000,10) = %v, want 100", got)
+	}
+	if got := Power(1000, 0); got != 0 {
+		t.Errorf("Power with zero duration must be 0, got %v", got)
+	}
+	if got := Power(1000, -5); got != 0 {
+		t.Errorf("Power with negative duration must be 0, got %v", got)
+	}
+}
+
+func TestEnergyPowerRoundTrip(t *testing.T) {
+	f := func(p float64, d float64) bool {
+		p = math.Abs(math.Mod(p, 1e6))
+		d = math.Abs(math.Mod(d, 1e6)) + 1e-3
+		e := Energy(Watts(p), Seconds(d))
+		back := Power(e, Seconds(d))
+		return math.Abs(float64(back)-p) < 1e-6*(1+p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWattHours(t *testing.T) {
+	if got := Joules(3600).WattHours(); got != 1 {
+		t.Errorf("3600 J = %v Wh, want 1", got)
+	}
+	if got := Joules(3.6e6).KWh(); got != 1 {
+		t.Errorf("3.6e6 J = %v kWh, want 1", got)
+	}
+}
+
+func TestJoulesString(t *testing.T) {
+	tests := []struct {
+		e    Joules
+		want string
+	}{
+		{1, "1.000 J"},
+		{1500, "1.500 kJ"},
+		{2.5e6, "2.500 MJ"},
+		{3e9, "3.000 GJ"},
+	}
+	for _, tt := range tests {
+		if got := tt.e.String(); got != tt.want {
+			t.Errorf("Joules(%v).String() = %q, want %q", float64(tt.e), got, tt.want)
+		}
+	}
+}
+
+func TestWattsString(t *testing.T) {
+	tests := []struct {
+		w    Watts
+		want string
+	}{
+		{200, "200.00 W"},
+		{1500, "1.500 kW"},
+		{2e6, "2.000 MW"},
+	}
+	for _, tt := range tests {
+		if got := tt.w.String(); got != tt.want {
+			t.Errorf("Watts(%v).String() = %q, want %q", float64(tt.w), got, tt.want)
+		}
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	tests := []struct {
+		b    Bytes
+		want string
+	}{
+		{512, "512 B"},
+		{2 * KB, "2.00 KiB"},
+		{3 * MB, "3.00 MiB"},
+		{4 * GB, "4.00 GiB"},
+	}
+	for _, tt := range tests {
+		if got := tt.b.String(); got != tt.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(tt.b), got, tt.want)
+		}
+	}
+}
+
+func TestFractionClamp(t *testing.T) {
+	tests := []struct {
+		in, want Fraction
+	}{
+		{-0.5, 0},
+		{0, 0},
+		{0.5, 0.5},
+		{1, 1},
+		{1.5, 1},
+	}
+	for _, tt := range tests {
+		if got := tt.in.Clamp(); got != tt.want {
+			t.Errorf("Fraction(%v).Clamp() = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFractionClampProperty(t *testing.T) {
+	f := func(x float64) bool {
+		c := Fraction(x).Clamp()
+		return c >= 0 && c <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractionIn(t *testing.T) {
+	if !Fraction(0.3).In(0.2, 0.4) {
+		t.Error("0.3 should be in [0.2,0.4]")
+	}
+	if Fraction(0.5).In(0.2, 0.4) {
+		t.Error("0.5 should not be in [0.2,0.4]")
+	}
+	// Boundaries are inclusive.
+	if !Fraction(0.2).In(0.2, 0.4) || !Fraction(0.4).In(0.2, 0.4) {
+		t.Error("interval boundaries must be inclusive")
+	}
+}
+
+func TestFractionValid(t *testing.T) {
+	for _, v := range []Fraction{0, 0.5, 1, 1 + 1e-12} {
+		if !v.Valid() {
+			t.Errorf("Fraction(%v) should be valid", v)
+		}
+	}
+	for _, v := range []Fraction{-0.1, 1.1, Fraction(math.NaN()), Fraction(math.Inf(1))} {
+		if v.Valid() {
+			t.Errorf("Fraction(%v) should be invalid", v)
+		}
+	}
+}
+
+func TestFractionPercent(t *testing.T) {
+	if got := Fraction(0.305).Percent(); got != "30.5%" {
+		t.Errorf("Percent = %q, want 30.5%%", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	if got := TransferTime(100*MB, 100*MB); got != 1 {
+		t.Errorf("TransferTime = %v, want 1s", got)
+	}
+	if got := TransferTime(MB, 0); !math.IsInf(float64(got), 1) {
+		t.Errorf("TransferTime with zero bandwidth must be +Inf, got %v", got)
+	}
+}
+
+func TestTransferTimeMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		small, big := Bytes(a%1000+1), Bytes(a%1000+1)+Bytes(b%1000+1)
+		bw := Bytes(10 * MB)
+		return TransferTime(small, bw) <= TransferTime(big, bw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ealb/internal/units"
+)
+
+func newRunning(t *testing.T) *VM {
+	t.Helper()
+	v, err := New(1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetState(Running); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Memory: 0, ImageSize: 1, CPUShare: 0.5},
+		{Memory: -1, ImageSize: 1, CPUShare: 0.5},
+		{Memory: units.GB, ImageSize: -1, CPUShare: 0.5},
+		{Memory: units.GB, ImageSize: 1, CPUShare: 1.5},
+		{Memory: units.GB, ImageSize: 1, CPUShare: -0.5},
+		{Memory: units.GB, ImageSize: 1, CPUShare: 0.5, DirtyRate: -5},
+	}
+	for i, cfg := range cases {
+		if _, err := New(1, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(1, DefaultConfig()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestLifecycleHappyPath(t *testing.T) {
+	v, _ := New(1, DefaultConfig())
+	if v.State() != Provisioning {
+		t.Fatal("new VM must be provisioning")
+	}
+	steps := []State{Running, Migrating, Running, Stopped}
+	for _, s := range steps {
+		if err := v.SetState(s); err != nil {
+			t.Fatalf("transition to %v: %v", s, err)
+		}
+		if v.State() != s {
+			t.Fatalf("state = %v, want %v", v.State(), s)
+		}
+	}
+}
+
+func TestIllegalTransitions(t *testing.T) {
+	v, _ := New(1, DefaultConfig())
+	if err := v.SetState(Migrating); err == nil {
+		t.Error("provisioning -> migrating must fail")
+	}
+	_ = v.SetState(Running)
+	_ = v.SetState(Stopped)
+	for _, s := range []State{Running, Migrating, Provisioning} {
+		if err := v.SetState(s); err == nil {
+			t.Errorf("stopped -> %v must fail", s)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{
+		Provisioning: "provisioning",
+		Running:      "running",
+		Migrating:    "migrating",
+		Stopped:      "stopped",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), str)
+		}
+	}
+	if State(9).String() != "State(9)" {
+		t.Error("unknown state must render with value")
+	}
+}
+
+func TestScale(t *testing.T) {
+	v := newRunning(t)
+	if err := v.Scale(0.25); err != nil {
+		t.Fatal(err)
+	}
+	if v.CPUShare != 0.5 {
+		t.Errorf("CPUShare = %v, want 0.5", v.CPUShare)
+	}
+	if err := v.Scale(-0.3); err != nil {
+		t.Fatal(err)
+	}
+	if !(v.CPUShare > 0.199 && v.CPUShare < 0.201) {
+		t.Errorf("CPUShare = %v, want 0.2", v.CPUShare)
+	}
+	if err := v.Scale(0.9); err == nil {
+		t.Error("scaling above 1 must fail")
+	}
+	if err := v.Scale(-0.9); err == nil {
+		t.Error("scaling below 0 must fail")
+	}
+	// Failed scaling must not modify the share.
+	if !(v.CPUShare > 0.199 && v.CPUShare < 0.201) {
+		t.Errorf("failed scale mutated share to %v", v.CPUShare)
+	}
+}
+
+func TestClone(t *testing.T) {
+	v := newRunning(t)
+	c := v.Clone(42)
+	if c.ID != 42 {
+		t.Errorf("clone ID = %d", c.ID)
+	}
+	if c.State() != Provisioning {
+		t.Error("clone must start provisioning")
+	}
+	if c.Memory != v.Memory || c.ImageSize != v.ImageSize || c.CPUShare != v.CPUShare || c.DirtyRate != v.DirtyRate {
+		t.Error("clone must copy the resource profile")
+	}
+	// Clone is independent of the original.
+	_ = c.SetState(Running)
+	_ = c.Scale(0.1)
+	if v.CPUShare == c.CPUShare {
+		t.Error("scaling the clone must not affect the original")
+	}
+}
+
+func TestScaleCloneInvariantsProperty(t *testing.T) {
+	// For any valid share and any sequence of scale steps, the share
+	// stays in [0,1] and a clone is never affected by later mutations of
+	// the original.
+	f := func(share uint16, steps []int8) bool {
+		s := units.Fraction(float64(share%1000) / 1000)
+		v, err := New(1, Config{Memory: units.GB, ImageSize: units.GB, CPUShare: s, DirtyRate: units.MB})
+		if err != nil {
+			return false
+		}
+		c := v.Clone(2)
+		cloneShare := c.CPUShare
+		for _, st := range steps {
+			_ = v.Scale(units.Fraction(float64(st) / 100)) // errors allowed; state must stay valid
+			if !v.CPUShare.Valid() {
+				return false
+			}
+		}
+		return c.CPUShare == cloneShare
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Memory != 2*units.GB || cfg.ImageSize != 4*units.GB {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	if !cfg.CPUShare.Valid() || cfg.DirtyRate <= 0 {
+		t.Errorf("defaults not sane: %+v", cfg)
+	}
+}

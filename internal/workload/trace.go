@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ealb/internal/units"
+)
+
+// Trace is a recorded request-rate series sampled at a fixed step: the
+// replay path for production traces, which the paper's policy discussion
+// presumes ("the load can be ... predicted or is totally unpredictable").
+type Trace struct {
+	Step    units.Seconds
+	Samples []float64
+}
+
+// NewTrace validates and builds a trace.
+func NewTrace(step units.Seconds, samples []float64) (*Trace, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("workload: non-positive trace step %v", step)
+	}
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("workload: trace needs at least 2 samples, got %d", len(samples))
+	}
+	for i, s := range samples {
+		if s < 0 {
+			return nil, fmt.Errorf("workload: negative rate %v at sample %d", s, i)
+		}
+	}
+	return &Trace{Step: step, Samples: append([]float64(nil), samples...)}, nil
+}
+
+// Duration returns the time span the trace covers.
+func (tr *Trace) Duration() units.Seconds {
+	return units.Seconds(len(tr.Samples)-1) * tr.Step
+}
+
+// Rate returns the trace as a RateFunc with linear interpolation between
+// samples. Time beyond the trace wraps around (periodic replay), so a
+// one-day trace drives arbitrarily long simulations.
+func (tr *Trace) Rate() RateFunc {
+	dur := float64(tr.Duration())
+	return func(t units.Seconds) float64 {
+		x := float64(t)
+		if x < 0 {
+			x = 0
+		}
+		// Periodic replay.
+		for x >= dur {
+			x -= dur
+		}
+		pos := x / float64(tr.Step)
+		lo := int(pos)
+		if lo >= len(tr.Samples)-1 {
+			return tr.Samples[len(tr.Samples)-1]
+		}
+		frac := pos - float64(lo)
+		return tr.Samples[lo]*(1-frac) + tr.Samples[lo+1]*frac
+	}
+}
+
+// WriteTrace persists the trace as "step\nrate\nrate\n..." plain text.
+func (tr *Trace) WriteTrace(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%g\n", float64(tr.Step)); err != nil {
+		return err
+	}
+	for _, s := range tr.Samples {
+		if _, err := fmt.Fprintf(w, "%g\n", s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTrace parses a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("workload: empty trace input")
+	}
+	step, err := strconv.ParseFloat(strings.TrimSpace(sc.Text()), 64)
+	if err != nil {
+		return nil, fmt.Errorf("workload: bad trace step: %w", err)
+	}
+	var samples []float64
+	line := 1
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(txt, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad trace sample at line %d: %w", line, err)
+		}
+		samples = append(samples, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewTrace(units.Seconds(step), samples)
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ealb/internal/units"
+)
+
+func TestNewTraceValidation(t *testing.T) {
+	if _, err := NewTrace(0, []float64{1, 2}); err == nil {
+		t.Error("zero step must error")
+	}
+	if _, err := NewTrace(10, []float64{1}); err == nil {
+		t.Error("single sample must error")
+	}
+	if _, err := NewTrace(10, []float64{1, -2}); err == nil {
+		t.Error("negative rate must error")
+	}
+	tr, err := NewTrace(10, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Duration() != 20 {
+		t.Errorf("Duration = %v, want 20", tr.Duration())
+	}
+}
+
+func TestTraceIsACopy(t *testing.T) {
+	src := []float64{1, 2, 3}
+	tr, _ := NewTrace(10, src)
+	src[0] = 99
+	if tr.Samples[0] != 1 {
+		t.Error("NewTrace must copy its samples")
+	}
+}
+
+func TestTraceInterpolation(t *testing.T) {
+	tr, _ := NewTrace(10, []float64{100, 200, 100})
+	r := tr.Rate()
+	tests := []struct {
+		t    units.Seconds
+		want float64
+	}{
+		{0, 100},
+		{5, 150},
+		{10, 200},
+		{15, 150},
+		{-3, 100}, // clamped at start
+	}
+	for _, tt := range tests {
+		if got := r(tt.t); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("rate(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestTraceWrapsPeriodically(t *testing.T) {
+	tr, _ := NewTrace(10, []float64{100, 200, 100})
+	r := tr.Rate()
+	// Duration is 20; t=25 wraps to t=5.
+	if got := r(25); math.Abs(got-150) > 1e-9 {
+		t.Errorf("wrapped rate = %v, want 150", got)
+	}
+	if got := r(45); math.Abs(got-150) > 1e-9 {
+		t.Errorf("double-wrapped rate = %v, want 150", got)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr, _ := NewTrace(2.5, []float64{10, 20.5, 0, 7})
+	var sb strings.Builder
+	if err := tr.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Step != tr.Step || len(back.Samples) != len(tr.Samples) {
+		t.Fatalf("round trip shape wrong: %+v", back)
+	}
+	for i := range tr.Samples {
+		if back.Samples[i] != tr.Samples[i] {
+			t.Errorf("sample %d: %v != %v", i, back.Samples[i], tr.Samples[i])
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"abc\n1\n2\n",
+		"10\n1\nxyz\n",
+		"10\n1\n", // only one sample
+	}
+	for i, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: bad trace accepted", i)
+		}
+	}
+}
+
+func TestTraceDrivesArrivals(t *testing.T) {
+	tr, _ := NewTrace(10, []float64{50, 50, 50})
+	r := tr.Rate()
+	// Compose with other profiles like any RateFunc.
+	sum := Compose(r, ConstantRate(50))
+	if got := sum(5); math.Abs(got-100) > 1e-9 {
+		t.Errorf("composed trace rate = %v, want 100", got)
+	}
+}
