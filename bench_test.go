@@ -12,6 +12,7 @@ import (
 	"io"
 	"testing"
 
+	"ealb/internal/engine"
 	"ealb/internal/experiments"
 	"ealb/internal/migration"
 	"ealb/internal/policy"
@@ -96,6 +97,28 @@ func BenchmarkDVFS(b *testing.B) { benchRun(b, "dvfs", []int{100}) }
 
 // BenchmarkRobustness regenerates the five-seed aggregate at laptop scale.
 func BenchmarkRobustness(b *testing.B) { benchRun(b, "robustness", []int{100}) }
+
+// BenchmarkEngineSweep measures the figure2 panel sweep dispatched
+// through the simulation engine, serial versus one-worker-per-CPU — the
+// speedup tracked in the perf trajectory. Both paths produce
+// bit-identical results (see engine's TestParallelSweepMatchesSerial);
+// only the wall clock differs.
+func BenchmarkEngineSweep(b *testing.B) {
+	sizes := []int{100, 200, 400}
+	bench := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := engine.NewPool(workers)
+				if _, err := experiments.Figure2On(p, sizes, experiments.DefaultSeed, 20); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("serial", bench(1))
+	b.Run("parallel", bench(0))
+}
 
 // BenchmarkMigrationModel measures one pre-copy live-migration cost
 // computation (the protocol's per-decision pricing primitive).

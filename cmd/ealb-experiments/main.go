@@ -7,9 +7,12 @@
 //	ealb-experiments -run all                # everything
 //	ealb-experiments -list                   # available experiments
 //	ealb-experiments -run table2 -sizes 100,1000 -seed 7 -intervals 40
+//	ealb-experiments -run figure2 -parallel 0   # sweep panels on all CPUs
 //
 // The full paper-scale sweep (cluster size 10^4) takes tens of seconds;
-// use -sizes to trim it during development.
+// use -sizes to trim it during development, or -parallel to spread the
+// panels over the simulation engine's worker pool (the output is
+// bit-identical to a serial run either way).
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 		intervals = flag.Int("intervals", ealb.DefaultExperimentOptions().Intervals, "reallocation intervals per run")
 		sizes     = flag.String("sizes", "", "comma-separated cluster sizes (default: 100,1000,10000)")
 		csvDir    = flag.String("csvdir", "", "also write per-panel Figure 3 CSVs into this directory")
+		parallel  = flag.Int("parallel", 1, "sweep workers: 1 = serial, 0 = one per CPU")
 	)
 	flag.Parse()
 
@@ -45,6 +49,10 @@ func main() {
 	opt := ealb.DefaultExperimentOptions()
 	opt.Seed = *seed
 	opt.Intervals = *intervals
+	opt.Parallel = *parallel
+	if *parallel == 0 {
+		opt.Parallel = -1 // flag 0 = one worker per CPU
+	}
 	if *sizes != "" {
 		parsed, err := parseSizes(*sizes)
 		if err != nil {

@@ -1,0 +1,46 @@
+// Command ealb-serve runs the HTTP scenario service: an ealb simulation
+// engine behind a JSON API.
+//
+// Usage:
+//
+//	ealb-serve                    # listen on :8080, one worker per CPU
+//	ealb-serve -addr :9000 -workers 4
+//
+// Submit a scenario and fetch its result:
+//
+//	curl -s -X POST localhost:8080/v1/runs?wait=1 \
+//	  -d '{"kind":"cluster","size":100,"band":"low","seed":2014,"intervals":40}'
+//	curl -s localhost:8080/v1/runs
+//	curl -s localhost:8080/v1/runs/run-000001
+//	curl -s localhost:8080/v1/runs/run-000001/intervals
+//	curl -s localhost:8080/metrics
+//
+// Policy scenarios select a workload profile (constant, diurnal, trend,
+// spike, burst):
+//
+//	curl -s -X POST localhost:8080/v1/runs?wait=1 \
+//	  -d '{"kind":"policy","profile":"burst","base_rate":1000,"peak_rate":5000}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"ealb/internal/engine"
+	"ealb/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "engine worker count (0 = one per CPU)")
+	)
+	flag.Parse()
+
+	pool := engine.NewPool(*workers)
+	srv := serve.New(pool)
+	fmt.Printf("ealb-serve listening on %s (%d engine workers)\n", *addr, pool.Workers())
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

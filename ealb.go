@@ -15,22 +15,30 @@
 //     the §3 survey of reactive/predictive/optimal policies;
 //   - the analytic homogeneous model (HomogeneousModel), §4's closed-form
 //     E_ref/E_opt estimate;
+//   - the simulation engine (NewEngine / Engine.RunScenario), a worker
+//     pool that executes sweeps and JSON-friendly Scenario requests in
+//     parallel with bit-identical-to-serial results, and the HTTP
+//     scenario service built on it (NewScenarioHandler, cmd/ealb-serve);
 //
 // plus the experiment runners (RunExperiment) that regenerate every table
 // and figure of the paper. See DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-versus-measured results.
 //
 // Everything is deterministic: the same seed reproduces a simulation
-// bit for bit, on any platform, using only the standard library.
+// bit for bit, on any platform, using only the standard library —
+// including sweeps dispatched across many engine workers.
 package ealb
 
 import (
 	"io"
+	"net/http"
 
 	"ealb/internal/analytic"
 	"ealb/internal/cluster"
+	"ealb/internal/engine"
 	"ealb/internal/experiments"
 	"ealb/internal/policy"
+	"ealb/internal/serve"
 	"ealb/internal/units"
 	"ealb/internal/workload"
 )
@@ -136,11 +144,26 @@ var (
 	DiurnalRate = workload.DiurnalRate
 	// SpikeRate overlays a flash crowd on a base rate.
 	SpikeRate = workload.SpikeRate
+	// BurstRate overlays a spike train (repeated flash crowds) on a base
+	// rate — the bursty profile whose recovery gaps defeat reactive
+	// provisioning.
+	BurstRate = workload.BurstRate
 	// TrendRate grows linearly.
 	TrendRate = workload.TrendRate
 	// ComposeRates sums several profiles.
 	ComposeRates = workload.Compose
 )
+
+// WorkloadProfile builds a named arrival-rate profile (see
+// WorkloadProfileNames) scaled to the given horizon: the farm idles at
+// base req/s and the profile adds up to peak req/s on top.
+func WorkloadProfile(name string, base, peak float64, horizon Seconds) (RateFunc, error) {
+	return workload.Profile(name, base, peak, horizon)
+}
+
+// WorkloadProfileNames lists the profiles WorkloadProfile accepts:
+// constant, diurnal, trend, spike and burst.
+func WorkloadProfileNames() []string { return workload.ProfileNames() }
 
 // HomogeneousModel is the §4 analytic model (eqs. 6-13).
 type HomogeneousModel = analytic.Model
@@ -180,3 +203,38 @@ func RunAllExperiments(w io.Writer, opt ExperimentOptions) error {
 func RunClusterExperiment(size int, band Band, seed uint64, intervals int) (ClusterRun, error) {
 	return experiments.RunCluster(size, band, seed, intervals, nil)
 }
+
+// Simulation engine and scenario service.
+type (
+	// Engine is a worker pool executing simulation sweeps and scenarios.
+	// Sweeps dispatched on an Engine are bit-identical to serial runs:
+	// every job derives its own random streams from its seed and results
+	// land in order-preserving slots.
+	Engine = engine.Pool
+	// EngineStats is a snapshot of an engine's run/energy counters.
+	EngineStats = engine.Stats
+	// Scenario is a JSON-friendly description of one simulation request:
+	// a cluster protocol run or a policy-farm comparison driven by a
+	// named workload profile. The zero value selects the paper's §5
+	// defaults.
+	Scenario = engine.Scenario
+	// ScenarioResult is the outcome of one executed scenario.
+	ScenarioResult = engine.Result
+)
+
+// Scenario kinds.
+const (
+	// ScenarioCluster runs the §4-§5 leader protocol on one cluster.
+	ScenarioCluster = engine.KindCluster
+	// ScenarioPolicy runs the §3 policy line-up on a server farm.
+	ScenarioPolicy = engine.KindPolicy
+)
+
+// NewEngine returns an engine running at most workers simulations
+// concurrently; workers <= 0 selects one worker per available CPU.
+func NewEngine(workers int) *Engine { return engine.NewPool(workers) }
+
+// NewScenarioHandler returns the HTTP handler of the scenario service
+// (the API served by cmd/ealb-serve) backed by the given engine, for
+// embedding in a larger server.
+func NewScenarioHandler(e *Engine) http.Handler { return serve.New(e).Handler() }

@@ -1,0 +1,3 @@
+module ealb
+
+go 1.24

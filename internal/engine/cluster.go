@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"fmt"
+
+	"ealb/internal/cluster"
+	"ealb/internal/workload"
+)
+
+// ClusterRun is the raw outcome of one (size, band) cluster simulation —
+// the measurements behind the paper's Figures 2-3 and Table 2.
+type ClusterRun struct {
+	Size      int
+	Band      workload.Band
+	Before    [5]int // regime distribution at t=0
+	After     [5]int // regime distribution after the run (awake servers)
+	Stats     []cluster.IntervalStats
+	Sleeping  int     // servers asleep at the end
+	AvgAsleep float64 // mean sleeping count across intervals
+	MeanRatio float64 // Table 2 "Average ratio"
+	StdRatio  float64 // Table 2 "Standard deviation"
+	Energy    float64 // total Joules
+	Wakes     int
+}
+
+// RunCluster executes the §5 experiment for one cluster size and load
+// band. The simulation derives every random stream from seed, so the
+// result is identical no matter which worker (or how many) runs it.
+func RunCluster(size int, band workload.Band, seed uint64, intervals int, mutate func(*cluster.Config)) (ClusterRun, error) {
+	cfg := cluster.DefaultConfig(size, band, seed)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return ClusterRun{}, err
+	}
+	run := ClusterRun{Size: size, Band: band, Before: c.RegimeCounts()}
+	st, err := c.RunIntervals(intervals)
+	if err != nil {
+		return ClusterRun{}, err
+	}
+	run.Stats = st
+	run.After = c.RegimeCounts()
+	run.Sleeping = c.SleepingCount()
+	run.Wakes = c.Wakes()
+	var asleep float64
+	for _, s := range st {
+		asleep += float64(s.Sleeping)
+	}
+	run.AvgAsleep = asleep / float64(len(st))
+	run.MeanRatio = c.Ledger().MeanRatio()
+	run.StdRatio = c.Ledger().StdDevRatio()
+	run.Energy = float64(c.TotalEnergy())
+	return run, nil
+}
+
+// Ratios extracts the Figure 3 time series.
+func (r ClusterRun) Ratios() []float64 {
+	out := make([]float64, len(r.Stats))
+	for i, s := range r.Stats {
+		out[i] = s.Ratio
+	}
+	return out
+}
+
+// Crossover returns the first interval (1-based) from which the ratio
+// stays below 1 for five consecutive intervals — the point where
+// low-cost local decisions become durably dominant (§5). The window
+// guards against declaring dominance while the series still hovers
+// around 1. It returns the interval count when no such point exists.
+func (r ClusterRun) Crossover() int {
+	const window = 5
+	for i := 0; i+window-1 < len(r.Stats); i++ {
+		below := true
+		for j := i; j < i+window; j++ {
+			if r.Stats[j].Ratio >= 1 {
+				below = false
+				break
+			}
+		}
+		if below {
+			return i + 1
+		}
+	}
+	return len(r.Stats)
+}
+
+// ClusterJob is one entry of a cluster sweep.
+type ClusterJob struct {
+	Size      int
+	Band      workload.Band
+	Seed      uint64
+	Intervals int
+	// Mutate optionally adjusts the derived cluster.Config before the
+	// simulation is built (how ablations change one knob at a time).
+	Mutate func(*cluster.Config)
+}
+
+// SweepCluster executes every job across the pool and returns the runs in
+// job order. Because each job owns its RNG and writes only its own slot,
+// the returned slice is byte-identical to running the jobs serially.
+func (p *Pool) SweepCluster(jobs []ClusterJob) ([]ClusterRun, error) {
+	out := make([]ClusterRun, len(jobs))
+	err := p.Map(len(jobs), func(i int) error {
+		j := jobs[i]
+		run, err := RunCluster(j.Size, j.Band, j.Seed, j.Intervals, j.Mutate)
+		if err != nil {
+			return fmt.Errorf("engine: sweep job %d (size=%d band=%v seed=%d): %w",
+				i, j.Size, j.Band, j.Seed, err)
+		}
+		out[i] = run
+		p.addJoules(run.Energy)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

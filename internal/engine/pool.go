@@ -1,0 +1,204 @@
+// Package engine executes simulation sweeps over a worker pool.
+//
+// The simulator itself is strictly sequential — a cluster run advances one
+// reallocation interval at a time and owns its random stream — but the
+// experiments of §5 are embarrassingly parallel across panels: every
+// (size, band, seed) configuration is an independent simulation. The
+// engine exploits that. Each job derives its own deterministic RNG state
+// from the scenario seed, workers never share mutable simulation state,
+// and results land in order-preserving slots, so a sweep executed on N
+// workers is bit-identical to the same sweep executed serially.
+//
+// Two layers are exposed:
+//
+//   - Pool, a bounded worker pool with an order-preserving Map primitive
+//     and atomic run/energy counters (the engine's observability surface,
+//     exported by ealb-serve's /metrics endpoint);
+//   - Scenario/Result, a JSON-friendly description of one simulation
+//     request (cluster protocol run or §3 policy-farm comparison) executed
+//     with (*Pool).RunScenario — the unit of work behind `POST /v1/runs`.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool for simulation jobs. The zero value is not
+// usable; construct one with NewPool. A Pool is safe for concurrent use
+// and may be shared by the experiment runners and the HTTP service: the
+// worker bound is pool-wide, so concurrent Map calls (e.g. many HTTP
+// requests on one engine) together never run more than workers jobs at
+// once — excess jobs wait, which is what the queue-depth gauge measures.
+type Pool struct {
+	workers int
+	slots   chan struct{} // pool-wide concurrency semaphore
+
+	jobsSubmitted atomic.Uint64
+	jobsStarted   atomic.Uint64
+	jobsCompleted atomic.Uint64
+	jobsFailed    atomic.Uint64
+
+	runsStarted   atomic.Uint64
+	runsCompleted atomic.Uint64
+	runsFailed    atomic.Uint64
+
+	joules      atomicFloat // total simulated energy across completed jobs
+	joulesSaved atomicFloat // simulated savings vs always-on baselines
+}
+
+// NewPool returns a pool running at most workers jobs concurrently.
+// workers <= 0 selects one worker per available CPU.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, slots: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Stats is a point-in-time snapshot of the pool's counters. Jobs are
+// individual simulations; runs are whole scenarios (a scenario with a
+// baseline comparison spends two jobs).
+type Stats struct {
+	Workers       int
+	JobsSubmitted uint64
+	JobsStarted   uint64
+	JobsCompleted uint64
+	JobsFailed    uint64
+	QueueDepth    uint64 // submitted but not yet started
+	RunsStarted   uint64
+	RunsCompleted uint64
+	RunsFailed    uint64
+	// SimulatedJoules is the total energy simulated by completed jobs.
+	SimulatedJoules float64
+	// JoulesSaved accumulates (always-on − energy-aware) energy from
+	// scenarios that requested a baseline comparison.
+	JoulesSaved float64
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	s := Stats{
+		Workers:         p.workers,
+		JobsSubmitted:   p.jobsSubmitted.Load(),
+		JobsStarted:     p.jobsStarted.Load(),
+		JobsCompleted:   p.jobsCompleted.Load(),
+		JobsFailed:      p.jobsFailed.Load(),
+		RunsStarted:     p.runsStarted.Load(),
+		RunsCompleted:   p.runsCompleted.Load(),
+		RunsFailed:      p.runsFailed.Load(),
+		SimulatedJoules: p.joules.Load(),
+		JoulesSaved:     p.joulesSaved.Load(),
+	}
+	if s.JobsSubmitted > s.JobsStarted {
+		s.QueueDepth = s.JobsSubmitted - s.JobsStarted
+	}
+	return s
+}
+
+// Map runs fn(0) … fn(n-1) across the pool and blocks until every call
+// returns. Calls may execute concurrently and in any order, so fn must
+// write its result into a caller-owned slot for its index; the engine's
+// sweep helpers all follow that pattern, which is what makes parallel
+// sweeps bit-identical to serial ones. Map returns the error of the
+// lowest-indexed failing call, after all calls finish.
+func (p *Pool) Map(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	p.jobsSubmitted.Add(uint64(n))
+	if p.workers == 1 {
+		// Inline fast path: no goroutines, but still through the
+		// pool-wide slot so concurrent callers serialize.
+		var first error
+		for i := 0; i < n; i++ {
+			p.slots <- struct{}{}
+			p.jobsStarted.Add(1)
+			err := p.run(i, fn)
+			<-p.slots
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				// The slot is the pool-wide bound; the per-call worker
+				// goroutines only shape this call's fan-out.
+				p.slots <- struct{}{}
+				p.jobsStarted.Add(1)
+				errs[i] = p.run(i, fn)
+				<-p.slots
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// run executes one job, converting panics into errors so a bad scenario
+// cannot take down the pool (the HTTP service runs arbitrary requests).
+func (p *Pool) run(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: job %d panicked: %v", i, r)
+		}
+		if err != nil {
+			p.jobsFailed.Add(1)
+		} else {
+			p.jobsCompleted.Add(1)
+		}
+	}()
+	return fn(i)
+}
+
+// addJoules accounts simulated energy.
+func (p *Pool) addJoules(j float64) { p.joules.Add(j) }
+
+// addSaved accounts simulated savings versus an always-on baseline.
+func (p *Pool) addSaved(j float64) {
+	if j > 0 {
+		p.joulesSaved.Add(j)
+	}
+}
+
+// atomicFloat is a float64 accumulator safe for concurrent use.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+func (f *atomicFloat) Add(delta float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}

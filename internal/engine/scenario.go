@@ -1,0 +1,290 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ealb/internal/cluster"
+	"ealb/internal/policy"
+	"ealb/internal/units"
+	"ealb/internal/workload"
+)
+
+// Default scenario parameters (the paper's §5 setup). The experiments
+// package aliases these so the two layers cannot drift.
+const (
+	// DefaultSeed is the seed of all default runs (the paper's
+	// publication year).
+	DefaultSeed uint64 = 2014
+	// DefaultIntervals is the experiment length from §5.
+	DefaultIntervals = 40
+)
+
+// Resource caps on a single scenario. The service executes arbitrary
+// network requests, so one request must not be able to describe an
+// unbounded simulation; the caps sit an order of magnitude above the
+// paper's largest experiment (10^4 servers, 40 intervals).
+const (
+	// MaxScenarioSize bounds a cluster scenario's server count.
+	MaxScenarioSize = 100_000
+	// MaxScenarioIntervals bounds a cluster scenario's length.
+	MaxScenarioIntervals = 10_000
+	// MaxScenarioServers bounds a policy scenario's farm size.
+	MaxScenarioServers = 100_000
+	// MaxScenarioHorizon bounds a policy scenario's simulated time —
+	// thirty days at the default 10 s decision slot.
+	MaxScenarioHorizon = units.Seconds(30 * 24 * 3600)
+)
+
+// Scenario kinds.
+const (
+	// KindCluster runs the §4-§5 leader protocol on one cluster.
+	KindCluster = "cluster"
+	// KindPolicy runs the §3 capacity-management policy line-up on a
+	// server farm driven by a named workload profile.
+	KindPolicy = "policy"
+)
+
+// Scenario describes one simulation request. It is the JSON body of
+// `POST /v1/runs` on ealb-serve, so every field is a plain string or
+// number; zero values select the paper's defaults.
+type Scenario struct {
+	// Kind is "cluster" (default) or "policy".
+	Kind string `json:"kind,omitempty"`
+
+	// Seed drives every random stream of the run (default 2014).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Cluster scenarios (§4-§5).
+	//
+	// Size is the server count (default 100). Band is "low" (20-40%),
+	// "high" (60-80%), or an explicit "0.25-0.45". Intervals is the
+	// number of reallocation intervals (default 40). Sleep selects the
+	// consolidation sleep policy: "auto", "c3", "c6" or "never".
+	Size      int    `json:"size,omitempty"`
+	Band      string `json:"band,omitempty"`
+	Intervals int    `json:"intervals,omitempty"`
+	Sleep     string `json:"sleep,omitempty"`
+	// CompareBaseline additionally runs the always-on baseline so the
+	// result (and the engine's joules-saved counter) reports the
+	// measured E_ref/E_opt savings.
+	CompareBaseline bool `json:"compare_baseline,omitempty"`
+
+	// Policy scenarios (§3).
+	//
+	// Profile names the arrival-rate profile (workload.ProfileNames:
+	// constant, diurnal, trend, spike, burst; default "diurnal").
+	// BaseRate/PeakRate shape it in req/s (defaults 1000/5000).
+	// Servers and HorizonSeconds override the default farm.
+	Profile        string  `json:"profile,omitempty"`
+	BaseRate       float64 `json:"base_rate,omitempty"`
+	PeakRate       float64 `json:"peak_rate,omitempty"`
+	Servers        int     `json:"servers,omitempty"`
+	HorizonSeconds float64 `json:"horizon_seconds,omitempty"`
+}
+
+// Normalized returns a copy with defaults filled in.
+func (s Scenario) Normalized() Scenario {
+	if s.Kind == "" {
+		s.Kind = KindCluster
+	}
+	if s.Seed == 0 {
+		s.Seed = DefaultSeed
+	}
+	switch s.Kind {
+	case KindCluster:
+		if s.Size == 0 {
+			s.Size = 100
+		}
+		if s.Band == "" {
+			s.Band = "low"
+		}
+		if s.Intervals == 0 {
+			s.Intervals = DefaultIntervals
+		}
+		if s.Sleep == "" {
+			s.Sleep = "auto"
+		}
+	case KindPolicy:
+		if s.Profile == "" {
+			s.Profile = "diurnal"
+		}
+		if s.BaseRate == 0 {
+			s.BaseRate = 1000
+		}
+		if s.PeakRate == 0 {
+			s.PeakRate = 5000
+		}
+	}
+	return s
+}
+
+// Validate checks a normalized scenario.
+func (s Scenario) Validate() error {
+	switch s.Kind {
+	case KindCluster:
+		if s.Size <= 1 || s.Size > MaxScenarioSize {
+			return fmt.Errorf("engine: cluster scenario needs 1 < size <= %d, got %d", MaxScenarioSize, s.Size)
+		}
+		if s.Intervals <= 0 || s.Intervals > MaxScenarioIntervals {
+			return fmt.Errorf("engine: cluster scenario needs 0 < intervals <= %d, got %d", MaxScenarioIntervals, s.Intervals)
+		}
+		if _, err := ParseBand(s.Band); err != nil {
+			return err
+		}
+		if _, err := ParseSleepPolicy(s.Sleep); err != nil {
+			return err
+		}
+	case KindPolicy:
+		if s.Servers < 0 || s.Servers > MaxScenarioServers {
+			return fmt.Errorf("engine: policy scenario needs 0 <= servers <= %d, got %d", MaxScenarioServers, s.Servers)
+		}
+		if s.HorizonSeconds < 0 || units.Seconds(s.HorizonSeconds) > MaxScenarioHorizon {
+			return fmt.Errorf("engine: policy scenario needs 0 <= horizon_seconds <= %v", MaxScenarioHorizon)
+		}
+		cfg := s.farmConfig()
+		if _, err := workload.Profile(s.Profile, s.BaseRate, s.PeakRate, cfg.Horizon); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("engine: unknown scenario kind %q (want %q or %q)", s.Kind, KindCluster, KindPolicy)
+	}
+	return nil
+}
+
+// farmConfig derives the policy-farm configuration of a policy scenario.
+func (s Scenario) farmConfig() policy.FarmConfig {
+	cfg := policy.DefaultFarmConfig()
+	cfg.Seed = s.Seed
+	if s.Servers > 0 {
+		cfg.Servers = s.Servers
+	}
+	if s.HorizonSeconds > 0 {
+		cfg.Horizon = units.Seconds(s.HorizonSeconds)
+	}
+	return cfg
+}
+
+// ParseBand converts a scenario band spec — "low", "high" or "lo-hi" with
+// fractional bounds like "0.25-0.45" — into a load band.
+func ParseBand(spec string) (workload.Band, error) {
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "low":
+		return workload.LowLoad(), nil
+	case "high":
+		return workload.HighLoad(), nil
+	}
+	lo, hi, ok := strings.Cut(spec, "-")
+	if ok {
+		l, errL := strconv.ParseFloat(strings.TrimSpace(lo), 64)
+		h, errH := strconv.ParseFloat(strings.TrimSpace(hi), 64)
+		if errL == nil && errH == nil {
+			b := workload.Band{Lo: l, Hi: h}
+			return b, b.Validate()
+		}
+	}
+	return workload.Band{}, fmt.Errorf(`engine: invalid band %q (want "low", "high" or "lo-hi")`, spec)
+}
+
+// ParseSleepPolicy converts a scenario sleep spec into a cluster policy.
+func ParseSleepPolicy(spec string) (cluster.SleepPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "", "auto":
+		return cluster.SleepAuto, nil
+	case "c3", "c3-only":
+		return cluster.SleepC3Only, nil
+	case "c6", "c6-only":
+		return cluster.SleepC6Only, nil
+	case "never", "always-on":
+		return cluster.SleepNever, nil
+	}
+	return 0, fmt.Errorf(`engine: invalid sleep policy %q (want "auto", "c3", "c6" or "never")`, spec)
+}
+
+// Result is the outcome of one scenario.
+type Result struct {
+	Kind     string      `json:"kind"`
+	Scenario Scenario    `json:"scenario"`
+	Cluster  *ClusterRun `json:"cluster,omitempty"`
+	// AlwaysOnJoules and JoulesSaved are set when the scenario requested
+	// a baseline comparison.
+	AlwaysOnJoules float64 `json:"always_on_joules,omitempty"`
+	JoulesSaved    float64 `json:"joules_saved,omitempty"`
+	// Policies holds the §3 line-up results of a policy scenario.
+	Policies []policy.Result `json:"policies,omitempty"`
+}
+
+// RunScenario normalizes, validates and executes one scenario on the
+// pool, blocking until it completes.
+func (p *Pool) RunScenario(s Scenario) (Result, error) {
+	s = s.Normalized()
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	p.runsStarted.Add(1)
+	res, err := p.runScenario(s)
+	if err != nil {
+		p.runsFailed.Add(1)
+		return Result{}, err
+	}
+	p.runsCompleted.Add(1)
+	return res, nil
+}
+
+func (p *Pool) runScenario(s Scenario) (Result, error) {
+	res := Result{Kind: s.Kind, Scenario: s}
+	switch s.Kind {
+	case KindCluster:
+		band, err := ParseBand(s.Band)
+		if err != nil {
+			return Result{}, err
+		}
+		sleep, err := ParseSleepPolicy(s.Sleep)
+		if err != nil {
+			return Result{}, err
+		}
+		jobs := []ClusterJob{{
+			Size: s.Size, Band: band, Seed: s.Seed, Intervals: s.Intervals,
+			Mutate: func(c *cluster.Config) { c.Sleep = sleep },
+		}}
+		if s.CompareBaseline {
+			jobs = append(jobs, ClusterJob{
+				Size: s.Size, Band: band, Seed: s.Seed, Intervals: s.Intervals,
+				Mutate: func(c *cluster.Config) { c.Sleep = cluster.SleepNever },
+			})
+		}
+		runs, err := p.SweepCluster(jobs)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Cluster = &runs[0]
+		if s.CompareBaseline {
+			res.AlwaysOnJoules = runs[1].Energy
+			res.JoulesSaved = runs[1].Energy - runs[0].Energy
+			p.addSaved(res.JoulesSaved)
+		}
+	case KindPolicy:
+		cfg := s.farmConfig()
+		rate, err := workload.Profile(s.Profile, s.BaseRate, s.PeakRate, cfg.Horizon)
+		if err != nil {
+			return Result{}, err
+		}
+		pols := policy.StandardSetFor(cfg, rate)
+		out := make([]policy.Result, len(pols))
+		err = p.Map(len(pols), func(i int) error {
+			r, err := policy.Simulate(cfg, pols[i], rate)
+			if err != nil {
+				return err
+			}
+			out[i] = r
+			p.addJoules(float64(r.Energy))
+			return nil
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		res.Policies = out
+	}
+	return res, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"ealb/internal/engine"
 	"ealb/internal/power"
 	"ealb/internal/report"
 	"ealb/internal/units"
@@ -23,45 +24,59 @@ type DVFSStudy struct {
 // RunDVFSStudy evaluates the QoS-safe best P-state across a demand sweep
 // for a standard volume server.
 func RunDVFSStudy() ([]DVFSStudy, error) {
-	base, err := power.NewLinear(100, 200)
-	if err != nil {
-		return nil, err
-	}
-	d, err := power.NewDVFS(base, power.DefaultPStates())
-	if err != nil {
-		return nil, err
-	}
-	var out []DVFSStudy
-	for _, demand := range []units.Fraction{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
-		if err := d.SetState(0); err != nil {
-			return nil, err
+	return RunDVFSStudyOn(engine.NewPool(1))
+}
+
+// RunDVFSStudyOn runs the demand sweep through a worker pool. Each demand
+// level evaluates an independent DVFS model instance, so the sweep
+// parallelizes without shared P-state mutations.
+func RunDVFSStudyOn(p *engine.Pool) ([]DVFSStudy, error) {
+	demands := []units.Fraction{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	out := make([]DVFSStudy, len(demands))
+	err := p.Map(len(demands), func(i int) error {
+		demand := demands[i]
+		base, err := power.NewLinear(100, 200)
+		if err != nil {
+			return err
+		}
+		d, err := power.NewDVFS(base, power.DefaultPStates())
+		if err != nil {
+			return err
 		}
 		nominal := d.Power(demand)
-		best := d.BestStateFor(demand)
-		if err := d.SetState(best); err != nil {
-			return nil, err
+		if err := d.SetState(d.BestStateFor(demand)); err != nil {
+			return err
 		}
 		scaled := d.Power(demand)
 		saving := 0.0
 		if nominal > 0 {
 			saving = 1 - float64(scaled)/float64(nominal)
 		}
-		out = append(out, DVFSStudy{
+		out[i] = DVFSStudy{
 			Demand: demand,
 			State:  d.Current().Name,
 			Power:  scaled,
 			Saving: saving,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// RenderDVFSStudy writes the P-state selection table.
+// RenderDVFSStudy writes the table for the serial demand sweep.
 func RenderDVFSStudy(w io.Writer) error {
 	rows, err := RunDVFSStudy()
 	if err != nil {
 		return err
 	}
+	return RenderDVFSRows(w, rows)
+}
+
+// RenderDVFSRows writes the P-state selection table.
+func RenderDVFSRows(w io.Writer, rows []DVFSStudy) error {
 	t := report.NewTable(
 		"Extension — DVFS (QoS-safe P-state per demand level, 100/200 W volume server)",
 		"Demand", "P-state", "Power (W)", "Saving vs P0")

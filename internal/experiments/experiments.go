@@ -10,6 +10,7 @@ import (
 	"io"
 
 	"ealb/internal/cluster"
+	"ealb/internal/engine"
 	"ealb/internal/report"
 	"ealb/internal/stats"
 	"ealb/internal/workload"
@@ -17,11 +18,11 @@ import (
 
 // DefaultSeed is the seed used by all default experiment runs; change it
 // on the command line to check robustness of the shapes.
-const DefaultSeed uint64 = 2014 // the paper's publication year
+const DefaultSeed uint64 = engine.DefaultSeed // the paper's publication year
 
 // DefaultIntervals is the experiment length from §5: "the evolution of a
 // cluster for some 40 reallocation intervals".
-const DefaultIntervals = 40
+const DefaultIntervals = engine.DefaultIntervals
 
 // PaperSizes are the cluster sizes of §5: 10^2, 10^3, 10^4.
 var PaperSizes = []int{100, 1000, 10000}
@@ -30,96 +31,43 @@ var PaperSizes = []int{100, 1000, 10000}
 var PaperBands = []workload.Band{workload.LowLoad(), workload.HighLoad()}
 
 // ClusterRun is the raw outcome of one (size, band) cluster simulation.
-type ClusterRun struct {
-	Size      int
-	Band      workload.Band
-	Before    [5]int // regime distribution at t=0
-	After     [5]int // regime distribution after the run (awake servers)
-	Stats     []cluster.IntervalStats
-	Sleeping  int     // servers asleep at the end
-	AvgAsleep float64 // mean sleeping count across intervals
-	MeanRatio float64 // Table 2 "Average ratio"
-	StdRatio  float64 // Table 2 "Standard deviation"
-	Energy    float64 // total Joules
-	Wakes     int
-}
+// It is an alias of the engine's run record: the engine owns the
+// measurement so parallel sweeps and the HTTP service share one
+// implementation with the serial runners here.
+type ClusterRun = engine.ClusterRun
 
 // RunCluster executes the §5 experiment for one cluster size and load
 // band and returns the measurements behind Figures 2-3 and Table 2.
 func RunCluster(size int, band workload.Band, seed uint64, intervals int, mutate func(*cluster.Config)) (ClusterRun, error) {
-	cfg := cluster.DefaultConfig(size, band, seed)
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	c, err := cluster.New(cfg)
-	if err != nil {
-		return ClusterRun{}, err
-	}
-	run := ClusterRun{Size: size, Band: band, Before: c.RegimeCounts()}
-	st, err := c.RunIntervals(intervals)
-	if err != nil {
-		return ClusterRun{}, err
-	}
-	run.Stats = st
-	run.After = c.RegimeCounts()
-	run.Sleeping = c.SleepingCount()
-	run.Wakes = c.Wakes()
-	var asleep float64
-	for _, s := range st {
-		asleep += float64(s.Sleeping)
-	}
-	run.AvgAsleep = asleep / float64(len(st))
-	run.MeanRatio = c.Ledger().MeanRatio()
-	run.StdRatio = c.Ledger().StdDevRatio()
-	run.Energy = float64(c.TotalEnergy())
-	return run, nil
+	return engine.RunCluster(size, band, seed, intervals, mutate)
 }
 
-// Ratios extracts the Figure 3 time series.
-func (r ClusterRun) Ratios() []float64 {
-	out := make([]float64, len(r.Stats))
-	for i, s := range r.Stats {
-		out[i] = s.Ratio
-	}
-	return out
-}
-
-// Crossover returns the first interval (1-based) from which the ratio
-// stays below 1 for five consecutive intervals — the point where
-// low-cost local decisions become durably dominant (§5). The window
-// guards against declaring dominance while the series still hovers
-// around 1. It returns the interval count when no such point exists.
-func (r ClusterRun) Crossover() int {
-	const window = 5
-	for i := 0; i+window-1 < len(r.Stats); i++ {
-		below := true
-		for j := i; j < i+window; j++ {
-			if r.Stats[j].Ratio >= 1 {
-				below = false
-				break
-			}
-		}
-		if below {
-			return i + 1
+// panelJobs enumerates the (size × band) sweep of §5 in panel order.
+func panelJobs(sizes []int, seed uint64, intervals int) []engine.ClusterJob {
+	var jobs []engine.ClusterJob
+	for _, size := range sizes {
+		for _, band := range PaperBands {
+			jobs = append(jobs, engine.ClusterJob{Size: size, Band: band, Seed: seed, Intervals: intervals})
 		}
 	}
-	return len(r.Stats)
+	return jobs
 }
 
 // Figure2 runs the six §5 panels (three sizes × two load bands) and
 // returns the before/after regime distributions.
 func Figure2(sizes []int, seed uint64, intervals int) ([]ClusterRun, error) {
-	var out []ClusterRun
-	for _, size := range sizes {
-		for _, band := range PaperBands {
-			run, err := RunCluster(size, band, seed, intervals, nil)
-			if err != nil {
-				return nil, fmt.Errorf("figure2 size=%d band=%v: %w", size, band, err)
-			}
-			out = append(out, run)
-		}
+	return Figure2On(engine.NewPool(1), sizes, seed, intervals)
+}
+
+// Figure2On is Figure2 dispatched through a worker pool. The panels are
+// independent simulations with per-panel RNG derivation, so the result is
+// identical to the serial sweep regardless of the pool's width.
+func Figure2On(p *engine.Pool, sizes []int, seed uint64, intervals int) ([]ClusterRun, error) {
+	runs, err := p.SweepCluster(panelJobs(sizes, seed, intervals))
+	if err != nil {
+		return nil, fmt.Errorf("figure2: %w", err)
 	}
-	return out, nil
+	return runs, nil
 }
 
 // RenderFigure2 writes the regime histograms in the layout of the paper's
@@ -152,6 +100,11 @@ func RenderFigure2(w io.Writer, runs []ClusterRun) error {
 // Table 2 statistics.
 func Figure3(sizes []int, seed uint64, intervals int) ([]ClusterRun, error) {
 	return Figure2(sizes, seed, intervals) // identical sweep, different rendering
+}
+
+// Figure3On is Figure3 dispatched through a worker pool.
+func Figure3On(p *engine.Pool, sizes []int, seed uint64, intervals int) ([]ClusterRun, error) {
+	return Figure2On(p, sizes, seed, intervals) // identical sweep, different rendering
 }
 
 // RenderFigure3 writes the in-cluster/local decision ratio traces.
@@ -191,7 +144,12 @@ func RenderTable2(w io.Writer, runs []ClusterRun) error {
 // SmallClusters runs the cluster-size extension from [19] that §5
 // mentions: sizes 20, 40, 60, 80.
 func SmallClusters(seed uint64, intervals int) ([]ClusterRun, error) {
-	return Figure2([]int{20, 40, 60, 80}, seed, intervals)
+	return SmallClustersOn(engine.NewPool(1), seed, intervals)
+}
+
+// SmallClustersOn is SmallClusters dispatched through a worker pool.
+func SmallClustersOn(p *engine.Pool, seed uint64, intervals int) ([]ClusterRun, error) {
+	return Figure2On(p, []int{20, 40, 60, 80}, seed, intervals)
 }
 
 // EnergySavings compares the energy-aware cluster against the always-on
@@ -207,23 +165,42 @@ type EnergySavings struct {
 
 // RunEnergySavings measures the savings for one configuration.
 func RunEnergySavings(size int, band workload.Band, seed uint64, intervals int) (EnergySavings, error) {
-	aware, err := RunCluster(size, band, seed, intervals, nil)
+	rows, err := EnergySavingsSweepOn(engine.NewPool(1), []int{size}, []workload.Band{band}, seed, intervals)
 	if err != nil {
 		return EnergySavings{}, err
 	}
-	always, err := RunCluster(size, band, seed, intervals, func(c *cluster.Config) {
-		c.Sleep = cluster.SleepNever
-	})
+	return rows[0], nil
+}
+
+// EnergySavingsSweepOn measures the savings for every (size, band)
+// configuration, running the energy-aware and always-on simulations of
+// all pairs through the pool.
+func EnergySavingsSweepOn(p *engine.Pool, sizes []int, bands []workload.Band, seed uint64, intervals int) ([]EnergySavings, error) {
+	var jobs []engine.ClusterJob
+	for _, size := range sizes {
+		for _, band := range bands {
+			jobs = append(jobs,
+				engine.ClusterJob{Size: size, Band: band, Seed: seed, Intervals: intervals},
+				engine.ClusterJob{Size: size, Band: band, Seed: seed, Intervals: intervals,
+					Mutate: func(c *cluster.Config) { c.Sleep = cluster.SleepNever }})
+		}
+	}
+	runs, err := p.SweepCluster(jobs)
 	if err != nil {
-		return EnergySavings{}, err
+		return nil, err
 	}
-	out := EnergySavings{
-		Size: size, Band: band,
-		EnergyAware: aware.Energy,
-		AlwaysOn:    always.Energy,
-	}
-	if aware.Energy > 0 {
-		out.Ratio = always.Energy / aware.Energy
+	out := make([]EnergySavings, 0, len(runs)/2)
+	for i := 0; i < len(runs); i += 2 {
+		aware, always := runs[i], runs[i+1]
+		row := EnergySavings{
+			Size: aware.Size, Band: aware.Band,
+			EnergyAware: aware.Energy,
+			AlwaysOn:    always.Energy,
+		}
+		if aware.Energy > 0 {
+			row.Ratio = always.Energy / aware.Energy
+		}
+		out = append(out, row)
 	}
 	return out, nil
 }

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ealb/internal/engine"
+)
+
+// renderFigure2Via runs the figure2 sweep on a pool of the given width
+// and returns the fully rendered report.
+func renderFigure2Via(t *testing.T, workers int) string {
+	t.Helper()
+	runs, err := Figure2On(engine.NewPool(workers), []int{40, 60, 80}, DefaultSeed, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RenderFigure2(&sb, runs); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderTable2(&sb, runs); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestFigure2ParallelByteIdentical is the PR's acceptance check: the
+// engine's parallel figure2 sweep must produce output byte-identical to
+// the serial runner for the paper's seed.
+func TestFigure2ParallelByteIdentical(t *testing.T) {
+	serial := renderFigure2Via(t, 1)
+	for _, workers := range []int{2, 8} {
+		if parallel := renderFigure2Via(t, workers); parallel != serial {
+			t.Fatalf("figure2 on %d workers is not byte-identical to the serial sweep:\nserial:\n%s\nparallel:\n%s",
+				workers, serial, parallel)
+		}
+	}
+}
+
+// TestOptionsZeroValueIsSerial pins the backward-compatible default:
+// hand-built Options (benchmarks, older callers) must keep pre-engine
+// serial behavior; only negative Parallel selects all CPUs.
+func TestOptionsZeroValueIsSerial(t *testing.T) {
+	if got := (Options{}).pool().Workers(); got != 1 {
+		t.Errorf("zero-value Options pool has %d workers, want 1", got)
+	}
+	if got := (Options{Parallel: 3}).pool().Workers(); got != 3 {
+		t.Errorf("Parallel:3 pool has %d workers", got)
+	}
+	if got := (Options{Parallel: -1}).pool().Workers(); got < 1 {
+		t.Errorf("Parallel:-1 pool has %d workers", got)
+	}
+}
+
+// TestRegistryParallelMatchesSerial runs every sweep-backed registry
+// experiment both ways and compares the rendered bytes.
+func TestRegistryParallelMatchesSerial(t *testing.T) {
+	for _, name := range []string{"figure2", "figure3", "table2", "energy", "robustness", "dvfs"} {
+		opt := Options{Seed: DefaultSeed, Intervals: 6, Sizes: []int{40, 60}, Parallel: 1}
+		var serial strings.Builder
+		if err := Run(name, &serial, opt); err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		opt.Parallel = -1 // all CPUs
+		var parallel strings.Builder
+		if err := Run(name, &parallel, opt); err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if serial.String() != parallel.String() {
+			t.Errorf("%s: parallel output differs from serial", name)
+		}
+	}
+}

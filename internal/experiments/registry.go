@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"ealb/internal/engine"
 	"ealb/internal/policy"
 	"ealb/internal/workload"
 )
@@ -16,11 +17,29 @@ type Options struct {
 	// Sizes overrides the cluster-size sweep (the full 10^4 panel takes
 	// tens of seconds; tests use smaller sweeps).
 	Sizes []int
+	// Parallel is the worker count for sweep dispatch through the
+	// engine: 0 (the zero value) and 1 run serially, so Options built
+	// by hand keep the pre-engine behavior; negative values use every
+	// CPU. Any value produces bit-identical output — panels derive
+	// independent random streams and land in order-preserving slots.
+	Parallel int
 }
 
 // DefaultOptions returns the paper's parameters.
 func DefaultOptions() Options {
-	return Options{Seed: DefaultSeed, Intervals: DefaultIntervals, Sizes: PaperSizes}
+	return Options{Seed: DefaultSeed, Intervals: DefaultIntervals, Sizes: PaperSizes, Parallel: 1}
+}
+
+// pool builds the engine pool a registry run dispatches its sweeps on.
+func (o Options) pool() *engine.Pool {
+	switch {
+	case o.Parallel < 0:
+		return engine.NewPool(0) // one worker per CPU
+	case o.Parallel == 0:
+		return engine.NewPool(1) // zero value: serial, like pre-engine runs
+	default:
+		return engine.NewPool(o.Parallel)
+	}
 }
 
 // Runner executes one experiment and writes its report to w.
@@ -37,43 +56,37 @@ func Registry() map[string]Runner {
 			return RenderHomogeneous(w)
 		},
 		"figure2": func(w io.Writer, opt Options) error {
-			runs, err := Figure2(opt.Sizes, opt.Seed, opt.Intervals)
+			runs, err := Figure2On(opt.pool(), opt.Sizes, opt.Seed, opt.Intervals)
 			if err != nil {
 				return err
 			}
 			return RenderFigure2(w, runs)
 		},
 		"figure3": func(w io.Writer, opt Options) error {
-			runs, err := Figure3(opt.Sizes, opt.Seed, opt.Intervals)
+			runs, err := Figure3On(opt.pool(), opt.Sizes, opt.Seed, opt.Intervals)
 			if err != nil {
 				return err
 			}
 			return RenderFigure3(w, runs)
 		},
 		"table2": func(w io.Writer, opt Options) error {
-			runs, err := Figure3(opt.Sizes, opt.Seed, opt.Intervals)
+			runs, err := Figure3On(opt.pool(), opt.Sizes, opt.Seed, opt.Intervals)
 			if err != nil {
 				return err
 			}
 			return RenderTable2(w, runs)
 		},
 		"smallclusters": func(w io.Writer, opt Options) error {
-			runs, err := SmallClusters(opt.Seed, opt.Intervals)
+			runs, err := SmallClustersOn(opt.pool(), opt.Seed, opt.Intervals)
 			if err != nil {
 				return err
 			}
 			return RenderTable2(w, runs)
 		},
 		"energy": func(w io.Writer, opt Options) error {
-			var rows []EnergySavings
-			for _, size := range opt.Sizes {
-				for _, band := range PaperBands {
-					r, err := RunEnergySavings(size, band, opt.Seed, opt.Intervals)
-					if err != nil {
-						return err
-					}
-					rows = append(rows, r)
-				}
+			rows, err := EnergySavingsSweepOn(opt.pool(), opt.Sizes, PaperBands, opt.Seed, opt.Intervals)
+			if err != nil {
+				return err
 			}
 			return RenderEnergySavings(w, rows)
 		},
@@ -104,8 +117,12 @@ func Registry() map[string]Runner {
 		},
 		"figure1":    figure1Runner,
 		"robustness": robustnessRunner,
-		"dvfs": func(w io.Writer, _ Options) error {
-			return RenderDVFSStudy(w)
+		"dvfs": func(w io.Writer, opt Options) error {
+			rows, err := RunDVFSStudyOn(opt.pool())
+			if err != nil {
+				return err
+			}
+			return RenderDVFSRows(w, rows)
 		},
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"ealb/internal/engine"
 	"ealb/internal/metrics"
 	"ealb/internal/report"
 	"ealb/internal/workload"
@@ -25,16 +26,27 @@ type Robustness struct {
 
 // RunRobustness executes the sweep.
 func RunRobustness(size int, band workload.Band, seeds []uint64, intervals int) (Robustness, error) {
+	return RunRobustnessOn(engine.NewPool(1), size, band, seeds, intervals)
+}
+
+// RunRobustnessOn executes the per-seed sweep through a worker pool; the
+// seeds are independent random streams, so the aggregate is identical to
+// the serial sweep.
+func RunRobustnessOn(p *engine.Pool, size int, band workload.Band, seeds []uint64, intervals int) (Robustness, error) {
 	if len(seeds) == 0 {
 		return Robustness{}, fmt.Errorf("experiments: robustness needs at least one seed")
 	}
+	jobs := make([]engine.ClusterJob, len(seeds))
+	for i, seed := range seeds {
+		jobs[i] = engine.ClusterJob{Size: size, Band: band, Seed: seed, Intervals: intervals}
+	}
+	results, err := p.SweepCluster(jobs)
+	if err != nil {
+		return Robustness{}, err
+	}
 	out := Robustness{Size: size, Band: band, Seeds: seeds}
 	var runs []metrics.Series
-	for _, seed := range seeds {
-		r, err := RunCluster(size, band, seed, intervals, nil)
-		if err != nil {
-			return Robustness{}, err
-		}
+	for _, r := range results {
 		runs = append(runs, metrics.FromRun(r.Stats))
 		out.Crossover = append(out.Crossover, r.Crossover())
 		out.Sleeping = append(out.Sleeping, r.Sleeping)
@@ -79,8 +91,9 @@ func WriteRatioCSV(w io.Writer, run ClusterRun) error {
 func robustnessRunner(w io.Writer, opt Options) error {
 	seeds := []uint64{opt.Seed, opt.Seed + 1, opt.Seed + 2, opt.Seed + 3, opt.Seed + 4}
 	size := smallest(opt.Sizes, 1000)
+	pool := opt.pool()
 	for _, band := range PaperBands {
-		r, err := RunRobustness(size, band, seeds, opt.Intervals)
+		r, err := RunRobustnessOn(pool, size, band, seeds, opt.Intervals)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,286 @@
+// Package serve exposes the simulation engine as an HTTP scenario
+// service — the `ealb-serve` daemon. Clients submit scenario specs as
+// JSON and the service executes them on a shared engine pool:
+//
+//	POST /v1/runs                submit a scenario (?wait=1 blocks)
+//	GET  /v1/runs                list runs, newest last
+//	GET  /v1/runs/{id}           one run with its result summary
+//	GET  /v1/runs/{id}/intervals stream per-interval stats as NDJSON
+//	GET  /metrics                plain-text engine/service counters
+//	GET  /healthz                liveness probe
+//
+// The service holds finished runs in memory; it is a simulation front
+// end, not a database. Every run records the normalized scenario it
+// executed, so a result can always be reproduced bit-for-bit from its
+// recorded spec and seed.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"ealb/internal/engine"
+)
+
+// Run statuses.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// Run is one submitted scenario and, once finished, its result.
+type Run struct {
+	ID       string          `json:"id"`
+	Status   string          `json:"status"`
+	Scenario engine.Scenario `json:"scenario"`
+	Error    string          `json:"error,omitempty"`
+	Result   *engine.Result  `json:"result,omitempty"`
+
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+
+	// seq orders the run list by submission; the zero-padded ID would
+	// sort lexicographically wrong past run-999999.
+	seq int
+}
+
+// summary is the list view of a run: everything but the full result.
+type summary struct {
+	ID       string          `json:"id"`
+	Status   string          `json:"status"`
+	Scenario engine.Scenario `json:"scenario"`
+	Error    string          `json:"error,omitempty"`
+	Created  time.Time       `json:"created"`
+}
+
+// Server is the HTTP scenario service.
+type Server struct {
+	pool *engine.Pool
+
+	mu     sync.Mutex
+	runs   map[string]*Run
+	nextID int
+	wg     sync.WaitGroup // in-flight async runs (for tests and shutdown)
+}
+
+// New builds a service executing scenarios on the given pool.
+func New(pool *engine.Pool) *Server {
+	return &Server{pool: pool, runs: make(map[string]*Run)}
+}
+
+// Handler returns the service's routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/runs/{id}/intervals", s.handleIntervals)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Wait blocks until every asynchronously submitted run has finished.
+func (s *Server) Wait() { s.wg.Wait() }
+
+// handleSubmit accepts a scenario spec, validates it and executes it on
+// the engine — asynchronously by default, synchronously with ?wait=1.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec engine.Scenario
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid scenario JSON: %v", err))
+		return
+	}
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	run := s.newRun(spec)
+	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
+		s.execute(run)
+		writeJSON(w, http.StatusOK, s.snapshot(run.ID))
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.execute(run)
+	}()
+	writeJSON(w, http.StatusAccepted, s.snapshot(run.ID))
+}
+
+// newRun registers a queued run under a fresh id.
+func (s *Server) newRun(spec engine.Scenario) *Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	run := &Run{
+		ID:       fmt.Sprintf("run-%06d", s.nextID),
+		Status:   StatusQueued,
+		Scenario: spec,
+		Created:  time.Now().UTC(),
+		seq:      s.nextID,
+	}
+	s.runs[run.ID] = run
+	return run
+}
+
+// execute runs the scenario and records the outcome.
+func (s *Server) execute(run *Run) {
+	now := time.Now().UTC()
+	s.mu.Lock()
+	run.Status = StatusRunning
+	run.Started = &now
+	s.mu.Unlock()
+
+	res, err := s.pool.RunScenario(run.Scenario)
+
+	end := time.Now().UTC()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	run.Finished = &end
+	if err != nil {
+		run.Status = StatusFailed
+		run.Error = err.Error()
+		return
+	}
+	run.Status = StatusDone
+	run.Result = &res
+}
+
+// snapshot copies a run under the lock so handlers can marshal it
+// without racing execute.
+func (s *Server) snapshot(id string) *Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	run, ok := s.runs[id]
+	if !ok {
+		return nil
+	}
+	cp := *run
+	return &cp
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	type row struct {
+		seq int
+		s   summary
+	}
+	rows := make([]row, 0, len(s.runs))
+	for _, run := range s.runs {
+		rows = append(rows, row{run.seq, summary{
+			ID: run.ID, Status: run.Status, Scenario: run.Scenario,
+			Error: run.Error, Created: run.Created,
+		}})
+	}
+	s.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].seq < rows[j].seq })
+	out := make([]summary, len(rows))
+	for i, r := range rows {
+		out[i] = r.s
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": out})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	run := s.snapshot(r.PathValue("id"))
+	if run == nil {
+		httpError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	writeJSON(w, http.StatusOK, run)
+}
+
+// handleIntervals streams the per-interval stats of a finished cluster
+// run as newline-delimited JSON, flushing after every interval so a
+// client can tail long runs.
+func (s *Server) handleIntervals(w http.ResponseWriter, r *http.Request) {
+	run := s.snapshot(r.PathValue("id"))
+	if run == nil {
+		httpError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	if run.Status != StatusDone {
+		httpError(w, http.StatusConflict, fmt.Sprintf("run is %s, intervals are available once it is done", run.Status))
+		return
+	}
+	if run.Result == nil || run.Result.Cluster == nil {
+		httpError(w, http.StatusConflict, "run has no per-interval stats (not a cluster scenario)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for _, st := range run.Result.Cluster.Stats {
+		if err := enc.Encode(st); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleMetrics writes the engine and service counters in the plain
+// expfmt-style `name value` form scrapers expect.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.pool.Stats()
+	s.mu.Lock()
+	var queued, running, done, failed int
+	for _, run := range s.runs {
+		switch run.Status {
+		case StatusQueued:
+			queued++
+		case StatusRunning:
+			running++
+		case StatusDone:
+			done++
+		case StatusFailed:
+			failed++
+		}
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "ealb_runs_started_total %d\n", st.RunsStarted)
+	fmt.Fprintf(w, "ealb_runs_completed_total %d\n", st.RunsCompleted)
+	fmt.Fprintf(w, "ealb_runs_failed_total %d\n", st.RunsFailed)
+	fmt.Fprintf(w, "ealb_service_runs_queued %d\n", queued)
+	fmt.Fprintf(w, "ealb_service_runs_running %d\n", running)
+	fmt.Fprintf(w, "ealb_service_runs_done %d\n", done)
+	fmt.Fprintf(w, "ealb_service_runs_failed %d\n", failed)
+	fmt.Fprintf(w, "ealb_engine_workers %d\n", st.Workers)
+	fmt.Fprintf(w, "ealb_engine_jobs_submitted_total %d\n", st.JobsSubmitted)
+	fmt.Fprintf(w, "ealb_engine_jobs_completed_total %d\n", st.JobsCompleted)
+	fmt.Fprintf(w, "ealb_engine_jobs_failed_total %d\n", st.JobsFailed)
+	fmt.Fprintf(w, "ealb_engine_queue_depth %d\n", st.QueueDepth)
+	fmt.Fprintf(w, "ealb_simulated_joules_total %.6g\n", st.SimulatedJoules)
+	fmt.Fprintf(w, "ealb_simulated_joules_saved_total %.6g\n", st.JoulesSaved)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"ealb/internal/units"
+)
+
+// BurstRate models a spike train: starting at start, bursts of the given
+// height and width repeat every period, for count bursts (count <= 0
+// repeats forever). It is the catastrophic cousin of SpikeRate — instead
+// of one flash crowd the farm is hit by an iterated sequence of them, in
+// the spirit of clustered/iterated-Poisson arrival models of bursty
+// traffic. Reactive policies that survive one spike can still thrash on a
+// train of them, because each recovery window is shorter than the setup
+// time.
+func BurstRate(base, height float64, start, period, width units.Seconds, count int) RateFunc {
+	return func(t units.Seconds) float64 {
+		r := base
+		if t >= start && period > 0 && width > 0 {
+			since := float64(t - start)
+			n := int(since / float64(period)) // which burst window t falls in
+			if (count <= 0 || n < count) && since-float64(n)*float64(period) < float64(width) {
+				r += height
+			}
+		}
+		return max0(r)
+	}
+}
+
+// ProfileNames lists the named rate profiles Profile accepts, sorted.
+func ProfileNames() []string {
+	names := make([]string, 0, len(profileBuilders))
+	for n := range profileBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Profile builds a named arrival-rate profile scaled to a horizon: the
+// farm idles at base req/s and the profile adds up to peak req/s on top,
+// with its timing derived from the horizon so every profile exercises the
+// same simulated window. It is the selector behind `ealb-serve` scenario
+// specs and the examples' -profile flags.
+//
+// Names: "constant", "diurnal", "trend", "spike" (one flash crowd),
+// "burst" (a five-spike train whose recovery gaps are shorter than a
+// typical setup time).
+func Profile(name string, base, peak float64, horizon units.Seconds) (RateFunc, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("workload: profile %q needs a positive horizon, got %v", name, horizon)
+	}
+	b, ok := profileBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown profile %q (have %v)", name, ProfileNames())
+	}
+	return b(base, peak, horizon), nil
+}
+
+var profileBuilders = map[string]func(base, peak float64, horizon units.Seconds) RateFunc{
+	"constant": func(base, peak float64, _ units.Seconds) RateFunc {
+		return ConstantRate(base + peak)
+	},
+	"diurnal": func(base, peak float64, horizon units.Seconds) RateFunc {
+		return DiurnalRate(base, peak, horizon)
+	},
+	"trend": func(base, peak float64, horizon units.Seconds) RateFunc {
+		return TrendRate(base, peak/float64(horizon))
+	},
+	"spike": func(base, peak float64, horizon units.Seconds) RateFunc {
+		return Compose(ConstantRate(base), SpikeRate(0, peak, horizon/3, horizon/12))
+	},
+	"burst": func(base, peak float64, horizon units.Seconds) RateFunc {
+		// Five bursts with recovery gaps of horizon·(1/18 − 1/40) ≈ 3% of
+		// the horizon — shorter than a 260 s setup time on the default
+		// 2-hour farm, so reactive capacity always arrives one burst late.
+		return Compose(ConstantRate(base), BurstRate(0, peak, horizon/6, horizon/18, horizon/40, 5))
+	},
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"testing"
+
+	"ealb/internal/units"
+)
+
+func TestBurstRateSpikeTrain(t *testing.T) {
+	// Three bursts of height 500 and width 10, every 100 s from t=50.
+	rate := BurstRate(100, 500, 50, 100, 10, 3)
+	cases := []struct {
+		t    units.Seconds
+		want float64
+	}{
+		{0, 100},    // before the train
+		{49, 100},   // just before the first burst
+		{50, 600},   // first burst opens
+		{59, 600},   // still inside
+		{60, 100},   // first burst closed
+		{149, 100},  // gap
+		{150, 600},  // second burst
+		{250, 600},  // third burst
+		{350, 100},  // count exhausted: no fourth burst
+		{1000, 100}, // long after
+	}
+	for _, c := range cases {
+		if got := rate(c.t); got != c.want {
+			t.Errorf("rate(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestBurstRateUnbounded(t *testing.T) {
+	rate := BurstRate(0, 10, 0, 50, 5, 0)
+	if got := rate(10_001); got != 10 { // 10_000 is a burst start (the 200th)
+		t.Errorf("in-burst rate = %v, want 10", got)
+	}
+	if got := rate(10_006); got != 0 { // past the burst's 5 s width
+		t.Errorf("gap rate = %v, want 0", got)
+	}
+}
+
+func TestBurstRateNeverNegative(t *testing.T) {
+	rate := BurstRate(-5, 1, 0, 10, 5, 0)
+	if got := rate(20); got != 0 {
+		t.Errorf("negative base leaked through: %v", got)
+	}
+}
+
+func TestProfileNamesAndShapes(t *testing.T) {
+	want := []string{"burst", "constant", "diurnal", "spike", "trend"}
+	got := ProfileNames()
+	if len(got) != len(want) {
+		t.Fatalf("ProfileNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ProfileNames() = %v, want %v", got, want)
+		}
+	}
+
+	const horizon = units.Seconds(3600)
+	for _, name := range got {
+		rate, err := Profile(name, 1000, 5000, horizon)
+		if err != nil {
+			t.Fatalf("Profile(%q): %v", name, err)
+		}
+		// Every profile must idle at >= base and peak above it somewhere
+		// (constant folds the peak into the flat rate).
+		var peak float64
+		for ts := units.Seconds(0); ts < horizon; ts += 10 {
+			r := rate(ts)
+			if r < 0 {
+				t.Fatalf("Profile(%q) negative at t=%v", name, ts)
+			}
+			if r > peak {
+				peak = r
+			}
+		}
+		if peak < 1000 {
+			t.Errorf("Profile(%q) never reaches the base rate (peak %v)", name, peak)
+		}
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	if _, err := Profile("nosuch", 1, 1, 100); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := Profile("burst", 1, 1, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+// TestBurstRecoveryShorterThanSetup pins the property that makes the
+// burst profile interesting for the §3 policy comparison: the gap
+// between consecutive bursts is shorter than the paper's 260 s server
+// setup time, so reactive capacity arrives after the next burst lands.
+func TestBurstRecoveryShorterThanSetup(t *testing.T) {
+	const horizon = units.Seconds(7200)              // the default farm's 2-hour run
+	gap := float64(horizon/18) - float64(horizon/40) // period − width
+	if gap >= 260 {
+		t.Errorf("burst gap %v s leaves reactive policies time to recover", gap)
+	}
+}
