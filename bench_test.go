@@ -9,6 +9,7 @@
 package ealb
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -70,7 +71,7 @@ func BenchmarkPolicies(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rate := workload.DiurnalRate(1000, 4000, cfg.Horizon)
-		if _, err := policy.Compare(cfg, policy.StandardSet(cfg.SetupTime, rate), rate); err != nil {
+		if _, err := policy.Compare(context.Background(), cfg, policy.StandardSet(cfg.SetupTime, rate), rate); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -158,7 +159,7 @@ func BenchmarkClusterInterval(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.RunIntervals(1); err != nil {
+		if _, err := c.RunIntervals(context.Background(), 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"ealb"
 )
@@ -24,6 +26,10 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "arrival sampling seed")
 	)
 	flag.Parse()
+
+	// Ctrl-C abandons the simulation at its next interval/slot.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	cfg := ealb.DefaultFarmConfig()
 	cfg.Servers = *servers
@@ -50,7 +56,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	results, err := ealb.ComparePolicies(cfg, ealb.StandardPoliciesFor(cfg, rate), rate)
+	results, err := ealb.ComparePolicies(ctx, cfg, ealb.StandardPoliciesFor(cfg, rate), rate)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ealb-policy:", err)
 		os.Exit(1)

@@ -4,29 +4,46 @@
 // Usage:
 //
 //	ealb-serve                    # listen on :8080, one worker per CPU
-//	ealb-serve -addr :9000 -workers 4
+//	ealb-serve -addr :9000 -workers 4 -drain 30s
 //
 // Submit a scenario and fetch its result:
 //
 //	curl -s -X POST localhost:8080/v1/runs?wait=1 \
 //	  -d '{"kind":"cluster","size":100,"band":"low","seed":2014,"intervals":40}'
 //	curl -s localhost:8080/v1/runs
+//	curl -s 'localhost:8080/v1/runs?status=done&limit=10'
 //	curl -s localhost:8080/v1/runs/run-000001
-//	curl -s localhost:8080/v1/runs/run-000001/intervals
+//	curl -s localhost:8080/v1/runs/run-000001/intervals   # tails live runs
+//	curl -s -X DELETE localhost:8080/v1/runs/run-000001   # cancel
 //	curl -s localhost:8080/metrics
+//
+// Sweep requests give lists for any axis and run the whole cross-product
+// in one request, returning per-cell results plus aggregates:
+//
+//	curl -s -X POST localhost:8080/v1/runs?wait=1 \
+//	  -d '{"sizes":[100,1000],"seeds":[1,2,3],"intervals":40}'
 //
 // Policy scenarios select a workload profile (constant, diurnal, trend,
 // spike, burst):
 //
 //	curl -s -X POST localhost:8080/v1/runs?wait=1 \
-//	  -d '{"kind":"policy","profile":"burst","base_rate":1000,"peak_rate":5000}'
+//	  -d '{"kind":"policy","profiles":["burst","diurnal"],"base_rate":1000,"peak_rate":5000}'
+//
+// On SIGINT/SIGTERM the server stops accepting requests and drains:
+// in-flight simulations get -drain to finish before being cancelled.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"ealb/internal/engine"
 	"ealb/internal/serve"
@@ -36,11 +53,36 @@ func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		workers = flag.Int("workers", 0, "engine worker count (0 = one per CPU)")
+		drain   = flag.Duration("drain", 30*time.Second, "how long to let in-flight runs finish on shutdown before cancelling them")
 	)
 	flag.Parse()
 
 	pool := engine.NewPool(*workers)
-	srv := serve.New(pool)
+	svc := serve.New(pool)
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("ealb-serve listening on %s (%d engine workers)\n", *addr, pool.Workers())
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Printf("ealb-serve draining (up to %v)\n", *drain)
+	grace, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(grace); err != nil {
+		log.Printf("ealb-serve: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(grace); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("ealb-serve: cancelled in-flight runs after drain timeout: %v", err)
+	}
+	fmt.Println("ealb-serve stopped")
 }

@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"ealb"
 )
@@ -25,6 +27,10 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
 	)
 	flag.Parse()
+
+	// Ctrl-C abandons the simulation at its next interval/slot.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var band ealb.Band
 	switch *load {
@@ -57,7 +63,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ealb-sim:", err)
 		os.Exit(1)
 	}
-	stats, err := c.RunIntervals(*intervals)
+	stats, err := c.RunIntervals(ctx, *intervals)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ealb-sim:", err)
 		os.Exit(1)

@@ -15,10 +15,16 @@
 //     the §3 survey of reactive/predictive/optimal policies;
 //   - the analytic homogeneous model (HomogeneousModel), §4's closed-form
 //     E_ref/E_opt estimate;
-//   - the simulation engine (NewEngine / Engine.RunScenario), a worker
-//     pool that executes sweeps and JSON-friendly Scenario requests in
+//   - the simulation engine (NewEngine / Engine.RunScenario /
+//     Engine.RunSweep), a worker pool that executes JSON-friendly
+//     Scenario requests and multi-axis SweepSpec cross-products in
 //     parallel with bit-identical-to-serial results, and the HTTP
 //     scenario service built on it (NewScenarioHandler, cmd/ealb-serve);
+//
+// Every simulation entry point takes a context.Context and stops at its
+// next preemption point (a reallocation interval, a decision slot, a
+// queued job) when the context is cancelled, so services embedding the
+// library can shed, cancel and drain work.
 //
 // plus the experiment runners (RunExperiment) that regenerate every table
 // and figure of the paper. See DESIGN.md for the system inventory and
@@ -30,6 +36,7 @@
 package ealb
 
 import (
+	"context"
 	"io"
 	"net/http"
 
@@ -113,13 +120,14 @@ type (
 func DefaultFarmConfig() FarmConfig { return policy.DefaultFarmConfig() }
 
 // SimulatePolicy runs one capacity-management policy against a workload.
-func SimulatePolicy(cfg FarmConfig, pol Policy, rate RateFunc) (PolicyResult, error) {
-	return policy.Simulate(cfg, pol, rate)
+// Cancelling the context abandons the run at the next decision slot.
+func SimulatePolicy(ctx context.Context, cfg FarmConfig, pol Policy, rate RateFunc) (PolicyResult, error) {
+	return policy.Simulate(ctx, cfg, pol, rate)
 }
 
 // ComparePolicies runs several policies against the same workload.
-func ComparePolicies(cfg FarmConfig, pols []Policy, rate RateFunc) ([]PolicyResult, error) {
-	return policy.Compare(cfg, pols, rate)
+func ComparePolicies(ctx context.Context, cfg FarmConfig, pols []Policy, rate RateFunc) ([]PolicyResult, error) {
+	return policy.Compare(ctx, cfg, pols, rate)
 }
 
 // StandardPolicies returns the §3 policy line-up: reactive, reactive with
@@ -216,11 +224,28 @@ type (
 	// Scenario is a JSON-friendly description of one simulation request:
 	// a cluster protocol run or a policy-farm comparison driven by a
 	// named workload profile. The zero value selects the paper's §5
-	// defaults.
+	// defaults; a nil Seed means "use the default" while SeedOf(0) runs
+	// seed 0.
 	Scenario = engine.Scenario
 	// ScenarioResult is the outcome of one executed scenario.
 	ScenarioResult = engine.Result
+	// SweepSpec is the multi-axis scenario request: any sweep axis
+	// (seeds, sizes, bands, sleeps, profiles, server counts) may be a
+	// list plus a replications count, and (*Engine).RunSweep expands the
+	// cross-product. A scalar Scenario body is a one-element sweep.
+	SweepSpec = engine.SweepSpec
+	// SweepResult is a sweep's outcome: per-cell results in expansion
+	// order plus per-parameter-combination aggregates.
+	SweepResult = engine.SweepResult
+	// SweepAggregate summarizes one parameter combination across its
+	// seeds and replications (mean/min/max/stddev of energy, savings and
+	// SLA violations).
+	SweepAggregate = engine.Aggregate
 )
+
+// SeedOf returns a scenario seed holding v, distinguishing an explicit
+// seed 0 from an absent field.
+func SeedOf(v uint64) *uint64 { return engine.SeedOf(v) }
 
 // Scenario kinds.
 const (

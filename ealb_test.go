@@ -1,6 +1,7 @@
 package ealb
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ func TestFacadeClusterRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := c.RunIntervals(5)
+	st, err := c.RunIntervals(context.Background(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestFacadePolicyRoundTrip(t *testing.T) {
 	cfg := DefaultFarmConfig()
 	cfg.Horizon = 600
 	rate := ConstantRate(1000)
-	results, err := ComparePolicies(cfg, StandardPolicies(cfg.SetupTime, rate), rate)
+	results, err := ComparePolicies(context.Background(), cfg, StandardPolicies(cfg.SetupTime, rate), rate)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package ealb_test
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 
@@ -15,7 +17,7 @@ func ExampleNewCluster() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := c.RunIntervals(10); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 10); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("servers:", len(c.Servers()))
@@ -41,7 +43,7 @@ func ExamplePaperExample() {
 func ExampleSimulatePolicy() {
 	cfg := ealb.DefaultFarmConfig()
 	cfg.Horizon = 600
-	res, err := ealb.SimulatePolicy(cfg, ealbReactive(), ealb.ConstantRate(1000))
+	res, err := ealb.SimulatePolicy(context.Background(), cfg, ealbReactive(), ealb.ConstantRate(1000))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,4 +57,31 @@ func ExampleSimulatePolicy() {
 // ealbReactive picks the reactive policy out of the standard set.
 func ealbReactive() ealb.Policy {
 	return ealb.StandardPolicies(260, ealb.ConstantRate(1000))[0]
+}
+
+// ExampleEngine_RunSweep submits one multi-seed sweep request and reads
+// the per-group aggregate statistics. The three seeds run in parallel,
+// yet every cell is bit-identical to running it alone: each derives its
+// own random streams from its seed.
+func ExampleEngine_RunSweep() {
+	var spec ealb.SweepSpec
+	err := json.Unmarshal([]byte(`{"size":50,"intervals":10,"seeds":[1,2,3]}`), &spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := ealb.NewEngine(4)
+	res, err := eng.RunSweep(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg := res.Aggregates[0]
+	fmt.Println("cells:", len(res.Cells))
+	fmt.Println("group:", agg.Group)
+	fmt.Printf("mean energy: %.2f kWh\n", agg.Energy.Mean/3.6e6)
+	fmt.Printf("energy min/max: %.2f/%.2f kWh\n", agg.Energy.Min/3.6e6, agg.Energy.Max/3.6e6)
+	// Output:
+	// cells: 3
+	// group: size=50 band=low sleep=auto
+	// mean energy: 1.02 kWh
+	// energy min/max: 1.01/1.03 kWh
 }

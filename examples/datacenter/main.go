@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,7 +60,7 @@ func run(size int, seed uint64, sleep ealb.SleepPolicy, intervals int) (*ealb.Cl
 	if err != nil {
 		return nil, err
 	}
-	if _, err := c.RunIntervals(intervals); err != nil {
+	if _, err := c.RunIntervals(context.Background(), intervals); err != nil {
 		return nil, err
 	}
 	return c, nil

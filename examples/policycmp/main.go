@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -39,7 +40,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	results, err := ealb.ComparePolicies(cfg, ealb.StandardPoliciesFor(cfg, rate), rate)
+	results, err := ealb.ComparePolicies(context.Background(), cfg, ealb.StandardPoliciesFor(cfg, rate), rate)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 
 	// Each interval the servers evaluate their operating regime, report
 	// to the leader, and the leader brokers migrations / sleep decisions.
-	stats, err := c.RunIntervals(10)
+	stats, err := c.RunIntervals(context.Background(), 10)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -141,6 +141,11 @@ type Config struct {
 	ReservationQuantum float64
 	// Ranges are the regime-boundary sampling intervals.
 	Ranges regime.PaperRanges
+	// OnInterval, when non-nil, is invoked synchronously with the
+	// statistics of every completed reallocation interval. The engine
+	// wires it to the scenario service's live interval tail; it must not
+	// mutate the cluster.
+	OnInterval func(IntervalStats)
 }
 
 // DefaultConfig returns the §5 experiment parameterization for a cluster

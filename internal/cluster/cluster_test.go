@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -78,11 +79,11 @@ func TestNewPopulation(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	a := mustCluster(t, 60, workload.LowLoad(), 99)
 	b := mustCluster(t, 60, workload.LowLoad(), 99)
-	sa, err := a.RunIntervals(10)
+	sa, err := a.RunIntervals(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sb, err := b.RunIntervals(10)
+	sb, err := b.RunIntervals(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,8 +101,8 @@ func TestDeterminism(t *testing.T) {
 func TestDifferentSeedsDiffer(t *testing.T) {
 	a := mustCluster(t, 60, workload.LowLoad(), 1)
 	b := mustCluster(t, 60, workload.LowLoad(), 2)
-	sa, _ := a.RunIntervals(5)
-	sb, _ := b.RunIntervals(5)
+	sa, _ := a.RunIntervals(context.Background(), 5)
+	sb, _ := b.RunIntervals(context.Background(), 5)
 	same := true
 	for i := range sa {
 		if sa[i].Decisions != sb[i].Decisions {
@@ -128,7 +129,7 @@ func TestWorkloadConservation(t *testing.T) {
 	for _, s := range c.Servers() {
 		before += float64(s.RawDemand())
 	}
-	if _, err := c.RunIntervals(10); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 	var after float64
@@ -150,11 +151,11 @@ func TestWorkloadConservation(t *testing.T) {
 
 func TestLowLoadConsolidatesHighLoadDoesNot(t *testing.T) {
 	low := mustCluster(t, 100, workload.LowLoad(), 11)
-	if _, err := low.RunIntervals(40); err != nil {
+	if _, err := low.RunIntervals(context.Background(), 40); err != nil {
 		t.Fatal(err)
 	}
 	high := mustCluster(t, 100, workload.HighLoad(), 11)
-	if _, err := high.RunIntervals(40); err != nil {
+	if _, err := high.RunIntervals(context.Background(), 40); err != nil {
 		t.Fatal(err)
 	}
 	if low.SleepingCount() == 0 {
@@ -172,7 +173,7 @@ func TestSleepNeverKeepsAllAwake(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.RunIntervals(20); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 20); err != nil {
 		t.Fatal(err)
 	}
 	if c.SleepingCount() != 0 {
@@ -194,10 +195,10 @@ func TestSleepSavesEnergy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.RunIntervals(40); err != nil {
+	if _, err := a.RunIntervals(context.Background(), 40); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.RunIntervals(40); err != nil {
+	if _, err := b.RunIntervals(context.Background(), 40); err != nil {
 		t.Fatal(err)
 	}
 	if a.TotalEnergy() >= b.TotalEnergy() {
@@ -212,7 +213,7 @@ func TestSleepSavesEnergy(t *testing.T) {
 func TestBalanceImprovesRegimeDistribution(t *testing.T) {
 	c := mustCluster(t, 200, workload.LowLoad(), 23)
 	before := c.RegimeCounts()
-	if _, err := c.RunIntervals(40); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 40); err != nil {
 		t.Fatal(err)
 	}
 	after := c.RegimeCounts()
@@ -250,7 +251,7 @@ func TestCrossoverAsymmetry(t *testing.T) {
 	// sooner and both settle below 1.
 	crossover := func(band workload.Band) (int, float64) {
 		c := mustCluster(t, 400, band, 31)
-		st, err := c.RunIntervals(40)
+		st, err := c.RunIntervals(context.Background(), 40)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -290,7 +291,7 @@ func TestCrossoverAsymmetry(t *testing.T) {
 
 func TestEarlyInClusterDominance(t *testing.T) {
 	c := mustCluster(t, 400, workload.HighLoad(), 37)
-	st, err := c.RunIntervals(5)
+	st, err := c.RunIntervals(context.Background(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,10 +302,10 @@ func TestEarlyInClusterDominance(t *testing.T) {
 
 func TestRunIntervalsInvalidCount(t *testing.T) {
 	c := mustCluster(t, 20, workload.LowLoad(), 1)
-	if _, err := c.RunIntervals(0); err == nil {
+	if _, err := c.RunIntervals(context.Background(), 0); err == nil {
 		t.Error("zero intervals must error")
 	}
-	if _, err := c.RunIntervals(-3); err == nil {
+	if _, err := c.RunIntervals(context.Background(), -3); err == nil {
 		t.Error("negative intervals must error")
 	}
 }
@@ -314,7 +315,7 @@ func TestClockAndEnergyAdvance(t *testing.T) {
 	if c.Now() != 0 {
 		t.Error("clock must start at 0")
 	}
-	st, err := c.RunIntervals(3)
+	st, err := c.RunIntervals(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestClockAndEnergyAdvance(t *testing.T) {
 
 func TestSleepingServersAreEmpty(t *testing.T) {
 	c := mustCluster(t, 150, workload.LowLoad(), 13)
-	if _, err := c.RunIntervals(20); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 20); err != nil {
 		t.Fatal(err)
 	}
 	for _, s := range c.Servers() {
@@ -352,7 +353,7 @@ func TestSleepingServersAreEmpty(t *testing.T) {
 func TestSixtyPercentRule(t *testing.T) {
 	// At 30% cluster load consolidation must use C6 (deep sleep), per §6.
 	c := mustCluster(t, 150, workload.LowLoad(), 19)
-	if _, err := c.RunIntervals(10); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 	foundC6 := false
@@ -375,7 +376,7 @@ func TestForcedC3Policy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.RunIntervals(10); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 	for _, s := range c.Servers() {
@@ -397,10 +398,10 @@ func TestConservativeConsolidationSleepsFewer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.RunIntervals(40); err != nil {
+	if _, err := a.RunIntervals(context.Background(), 40); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.RunIntervals(40); err != nil {
+	if _, err := b.RunIntervals(context.Background(), 40); err != nil {
 		t.Fatal(err)
 	}
 	if b.SleepingCount() >= a.SleepingCount() {
@@ -411,7 +412,7 @@ func TestConservativeConsolidationSleepsFewer(t *testing.T) {
 
 func TestRegimeCountsExcludeSleeping(t *testing.T) {
 	c := mustCluster(t, 150, workload.LowLoad(), 43)
-	if _, err := c.RunIntervals(20); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 20); err != nil {
 		t.Fatal(err)
 	}
 	counts := c.RegimeCounts()
@@ -488,7 +489,7 @@ func TestHeterogeneousPeakPower(t *testing.T) {
 		t.Errorf("only %d distinct peaks across 60 servers", len(peaks))
 	}
 	// The protocol runs unchanged on heterogeneous hardware.
-	if _, err := c.RunIntervals(15); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 15); err != nil {
 		t.Fatal(err)
 	}
 	cfg.PeakPowerSpread = 1.5
@@ -499,7 +500,7 @@ func TestHeterogeneousPeakPower(t *testing.T) {
 
 func TestIntervalCostEvaluations(t *testing.T) {
 	c := mustCluster(t, 60, workload.LowLoad(), 71)
-	sts, err := c.RunIntervals(5)
+	sts, err := c.RunIntervals(context.Background(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -529,7 +530,7 @@ func TestWakeCycleUnderLoadSurge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.RunIntervals(40); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 40); err != nil {
 		t.Fatal(err)
 	}
 	if c.Wakes() == 0 {
@@ -539,7 +540,7 @@ func TestWakeCycleUnderLoadSurge(t *testing.T) {
 		t.Errorf("completed wakes %d exceed initiated %d", c.WakesCompleted(), c.Wakes())
 	}
 	// Run further intervals: pending completions drain.
-	if _, err := c.RunIntervals(10); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 	if c.WakesCompleted() == 0 {
@@ -555,7 +556,7 @@ func TestClusterLoadTracksDrift(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := c.ClusterLoad()
-	if _, err := c.RunIntervals(20); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 20); err != nil {
 		t.Fatal(err)
 	}
 	if c.ClusterLoad() <= before {
@@ -568,7 +569,7 @@ func TestStationaryLoadStaysBounded(t *testing.T) {
 	// not inflate over a long run (the mean-reversion regression test).
 	c := mustCluster(t, 150, workload.HighLoad(), 29)
 	before := float64(c.ClusterLoad())
-	if _, err := c.RunIntervals(40); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 40); err != nil {
 		t.Fatal(err)
 	}
 	after := float64(c.ClusterLoad())

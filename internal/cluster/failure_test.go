@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 
 	"ealb/internal/server"
@@ -61,7 +62,7 @@ func TestFailedServerExcludedFromProtocol(t *testing.T) {
 			total, c.SleepingCount(), c.FailedCount())
 	}
 	// The cluster keeps running; no app ever lands on the failed server.
-	if _, err := c.RunIntervals(10); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 	if victim.NumApps() != 0 {
@@ -69,7 +70,7 @@ func TestFailedServerExcludedFromProtocol(t *testing.T) {
 	}
 	// The failed server's energy account froze at the crash.
 	eAtCrash := victim.Energy()
-	if _, err := c.RunIntervals(5); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 5); err != nil {
 		t.Fatal(err)
 	}
 	if victim.Energy() != eAtCrash {
@@ -83,7 +84,7 @@ func TestRepairReturnsServerToService(t *testing.T) {
 	if _, _, err := c.FailServer(victim.ID()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.RunIntervals(5); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 5); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Repair(victim.ID()); err != nil {
@@ -93,7 +94,7 @@ func TestRepairReturnsServerToService(t *testing.T) {
 		t.Error("repair bookkeeping wrong")
 	}
 	// The repaired server can host again.
-	if _, err := c.RunIntervals(10); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -133,7 +134,7 @@ func TestMassFailureUnderHighLoadLosesApps(t *testing.T) {
 		t.Error("mass failure at high load must lose some apps")
 	}
 	// Cluster still simulates.
-	if _, err := c.RunIntervals(5); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 5); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -31,7 +32,7 @@ func TestProtocolInvariantsAcrossSeeds(t *testing.T) {
 			}
 
 			var prevEnergy float64
-			sts, err := c.RunIntervals(25)
+			sts, err := c.RunIntervals(context.Background(), 25)
 			if err != nil {
 				t.Fatalf("seed %d band %v: %v", seed, band, err)
 			}
@@ -96,7 +97,7 @@ func TestProtocolInvariantsAcrossSeeds(t *testing.T) {
 // consistent: the VM exists, is running, and its host's lookup agrees.
 func TestVMsFollowApps(t *testing.T) {
 	c := mustCluster(t, 120, workload.HighLoad(), 5)
-	if _, err := c.RunIntervals(30); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 30); err != nil {
 		t.Fatal(err)
 	}
 	for _, s := range c.Servers() {
@@ -120,7 +121,7 @@ func TestVMsFollowApps(t *testing.T) {
 // (reservations may only lag on overloaded servers that found no target).
 func TestReservationsCoverDemandEventually(t *testing.T) {
 	c := mustCluster(t, 100, workload.LowLoad(), 21)
-	if _, err := c.RunIntervals(30); err != nil {
+	if _, err := c.RunIntervals(context.Background(), 30); err != nil {
 		t.Fatal(err)
 	}
 	lagging := 0

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -56,14 +57,34 @@ const maxShedsPerDonor = 5
 // returns per-interval statistics. The intervals run as ticker events on
 // the discrete-event kernel, interleaved with any pending asynchronous
 // events (wake-transition completions scheduled by earlier intervals).
-func (c *Cluster) RunIntervals(n int) ([]IntervalStats, error) {
+//
+// The context is checked between intervals: cancelling it stops the
+// simulation at the next interval boundary and returns ctx.Err() together
+// with the statistics of the intervals that did complete, so a service
+// can shed long-running simulations promptly. A simulation can span many
+// wall-clock seconds at the paper's 10^4 scale; an interval is the
+// natural preemption point because it leaves the cluster in a consistent
+// state.
+//
+// When Config.OnInterval is set it is invoked synchronously with each
+// completed interval's statistics before the next interval starts — the
+// hook behind live tailing of a running simulation.
+func (c *Cluster) RunIntervals(ctx context.Context, n int) ([]IntervalStats, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: non-positive interval count %d", n)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	out := make([]IntervalStats, 0, n)
 	var runErr error
 	end := c.now + units.Seconds(n)*c.cfg.Tau
 	tick := c.sim.Every(c.now+c.cfg.Tau, c.cfg.Tau, func(now units.Seconds) {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			c.sim.Stop()
+			return
+		}
 		st, err := c.runInterval(now)
 		if err != nil {
 			runErr = err
@@ -71,6 +92,9 @@ func (c *Cluster) RunIntervals(n int) ([]IntervalStats, error) {
 			return
 		}
 		out = append(out, st)
+		if c.cfg.OnInterval != nil {
+			c.cfg.OnInterval(st)
+		}
 	})
 	c.sim.RunUntil(end)
 	tick.Stop()

@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stat is the four-number summary of one metric across a group of cells.
+// StdDev is the sample standard deviation (zero for a single cell).
+type Stat struct {
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	StdDev float64 `json:"stddev"`
+}
+
+// statOf summarizes xs. An empty slice yields the zero Stat.
+func statOf(xs []float64) Stat {
+	if len(xs) == 0 {
+		return Stat{}
+	}
+	st := Stat{Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		st.Min = math.Min(st.Min, x)
+		st.Max = math.Max(st.Max, x)
+	}
+	st.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - st.Mean
+			ss += d * d
+		}
+		st.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return st
+}
+
+// Aggregate summarizes every cell of one parameter combination — the
+// cells that differ only in seed (seed axis × replications). The metrics
+// are the three the paper's sweep panels report on: total energy, energy
+// saved versus the always-on baseline (zero unless the sweep requested a
+// baseline comparison), and SLA violations (cluster: intervals' violation
+// counts summed over the run; policy: violation slots summed across the
+// policy line-up).
+type Aggregate struct {
+	// Group names the parameter combination, e.g.
+	// "size=100 band=low sleep=auto" or "profile=diurnal servers=100".
+	Group string `json:"group"`
+	// Cells is how many cells (seeds × replications) the group covers.
+	Cells int `json:"cells"`
+
+	Energy        Stat `json:"energy"`
+	JoulesSaved   Stat `json:"joules_saved"`
+	SLAViolations Stat `json:"sla_violations"`
+}
+
+// groupKey buckets a cell by everything except its seed.
+func groupKey(s Scenario) string {
+	switch s.Kind {
+	case KindPolicy:
+		return fmt.Sprintf("profile=%s servers=%d", s.Profile, s.Servers)
+	default:
+		return fmt.Sprintf("size=%d band=%s sleep=%s", s.Size, s.Band, s.Sleep)
+	}
+}
+
+// metrics extracts the aggregated metrics of one cell result.
+func (r Result) metrics() (energy, saved, sla float64) {
+	switch r.Kind {
+	case KindPolicy:
+		for _, pr := range r.Policies {
+			energy += float64(pr.Energy)
+			sla += float64(pr.ViolationSlots)
+		}
+	default:
+		if r.Cluster != nil {
+			energy = r.Cluster.Energy
+			for _, st := range r.Cluster.Stats {
+				sla += float64(st.SLAViolations)
+			}
+		}
+		saved = r.JoulesSaved
+	}
+	return energy, saved, sla
+}
+
+// Aggregates groups cell results by parameter combination (everything
+// but the seed) and summarizes each group, in first-appearance order.
+func Aggregates(cells []Result) []Aggregate {
+	type bucket struct {
+		energy, saved, sla []float64
+	}
+	order := make([]string, 0, len(cells))
+	groups := make(map[string]*bucket)
+	for _, c := range cells {
+		key := groupKey(c.Scenario)
+		b, ok := groups[key]
+		if !ok {
+			b = &bucket{}
+			groups[key] = b
+			order = append(order, key)
+		}
+		energy, saved, sla := c.metrics()
+		b.energy = append(b.energy, energy)
+		b.saved = append(b.saved, saved)
+		b.sla = append(b.sla, sla)
+	}
+	out := make([]Aggregate, 0, len(order))
+	for _, key := range order {
+		b := groups[key]
+		out = append(out, Aggregate{
+			Group:         key,
+			Cells:         len(b.energy),
+			Energy:        statOf(b.energy),
+			JoulesSaved:   statOf(b.saved),
+			SLAViolations: statOf(b.sla),
+		})
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"ealb/internal/cluster"
@@ -26,7 +27,9 @@ type ClusterRun struct {
 // RunCluster executes the §5 experiment for one cluster size and load
 // band. The simulation derives every random stream from seed, so the
 // result is identical no matter which worker (or how many) runs it.
-func RunCluster(size int, band workload.Band, seed uint64, intervals int, mutate func(*cluster.Config)) (ClusterRun, error) {
+// Cancelling the context stops the simulation at the next reallocation
+// interval and returns ctx.Err().
+func RunCluster(ctx context.Context, size int, band workload.Band, seed uint64, intervals int, mutate func(*cluster.Config)) (ClusterRun, error) {
 	cfg := cluster.DefaultConfig(size, band, seed)
 	if mutate != nil {
 		mutate(&cfg)
@@ -36,7 +39,7 @@ func RunCluster(size int, band workload.Band, seed uint64, intervals int, mutate
 		return ClusterRun{}, err
 	}
 	run := ClusterRun{Size: size, Band: band, Before: c.RegimeCounts()}
-	st, err := c.RunIntervals(intervals)
+	st, err := c.RunIntervals(ctx, intervals)
 	if err != nil {
 		return ClusterRun{}, err
 	}
@@ -95,16 +98,34 @@ type ClusterJob struct {
 	// Mutate optionally adjusts the derived cluster.Config before the
 	// simulation is built (how ablations change one knob at a time).
 	Mutate func(*cluster.Config)
+	// Observe, when non-nil, receives every completed interval's
+	// statistics while the job is still running (wired to the scenario
+	// service's live tail). It is called from the worker goroutine
+	// executing this job, so it must be safe for concurrent use across
+	// jobs.
+	Observe func(cluster.IntervalStats)
 }
 
 // SweepCluster executes every job across the pool and returns the runs in
 // job order. Because each job owns its RNG and writes only its own slot,
 // the returned slice is byte-identical to running the jobs serially.
-func (p *Pool) SweepCluster(jobs []ClusterJob) ([]ClusterRun, error) {
+// Cancelling the context stops running simulations at their next interval
+// and fails jobs that have not started.
+func (p *Pool) SweepCluster(ctx context.Context, jobs []ClusterJob) ([]ClusterRun, error) {
 	out := make([]ClusterRun, len(jobs))
-	err := p.Map(len(jobs), func(i int) error {
+	err := p.Map(ctx, len(jobs), func(i int) error {
 		j := jobs[i]
-		run, err := RunCluster(j.Size, j.Band, j.Seed, j.Intervals, j.Mutate)
+		mutate := j.Mutate
+		if j.Observe != nil {
+			observe := j.Observe
+			mutate = func(c *cluster.Config) {
+				if j.Mutate != nil {
+					j.Mutate(c)
+				}
+				c.OnInterval = observe
+			}
+		}
+		run, err := RunCluster(ctx, j.Size, j.Band, j.Seed, j.Intervals, mutate)
 		if err != nil {
 			return fmt.Errorf("engine: sweep job %d (size=%d band=%v seed=%d): %w",
 				i, j.Size, j.Band, j.Seed, err)

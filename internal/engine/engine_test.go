@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -31,12 +32,12 @@ func sweepJobs() []ClusterJob {
 // TestParallelSweepMatchesSerial is the engine's core guarantee: the same
 // sweep on one worker and on many workers yields byte-identical results.
 func TestParallelSweepMatchesSerial(t *testing.T) {
-	serial, err := NewPool(1).SweepCluster(sweepJobs())
+	serial, err := NewPool(1).SweepCluster(context.Background(), sweepJobs())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 8} {
-		parallel, err := NewPool(workers).SweepCluster(sweepJobs())
+		parallel, err := NewPool(workers).SweepCluster(context.Background(), sweepJobs())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -53,7 +54,7 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 
 func TestSweepAccountsEnergy(t *testing.T) {
 	p := NewPool(2)
-	runs, err := p.SweepCluster(sweepJobs()[:2])
+	runs, err := p.SweepCluster(context.Background(), sweepJobs()[:2])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestSweepAccountsEnergy(t *testing.T) {
 func TestMapReportsLowestIndexedError(t *testing.T) {
 	p := NewPool(4)
 	boom := errors.New("boom")
-	err := p.Map(10, func(i int) error {
+	err := p.Map(context.Background(), 10, func(i int) error {
 		if i == 3 || i == 7 {
 			return fmt.Errorf("job %d: %w", i, boom)
 		}
@@ -97,7 +98,7 @@ func TestPoolBoundIsPoolWide(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p.Map(3, func(int) error {
+			p.Map(context.Background(), 3, func(int) error {
 				n := cur.Add(1)
 				for {
 					m := peak.Load()
@@ -121,7 +122,7 @@ func TestPoolBoundIsPoolWide(t *testing.T) {
 }
 
 func TestMapRecoversPanics(t *testing.T) {
-	err := NewPool(2).Map(2, func(i int) error {
+	err := NewPool(2).Map(context.Background(), 2, func(i int) error {
 		if i == 1 {
 			panic("kaboom")
 		}
@@ -134,14 +135,14 @@ func TestMapRecoversPanics(t *testing.T) {
 
 func TestRunScenarioClusterDefaults(t *testing.T) {
 	p := NewPool(2)
-	res, err := p.RunScenario(Scenario{Kind: KindCluster, Size: 50, Intervals: 5, CompareBaseline: true})
+	res, err := p.RunScenario(context.Background(), Scenario{Kind: KindCluster, Size: 50, Intervals: 5, CompareBaseline: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Cluster == nil || len(res.Cluster.Stats) != 5 {
 		t.Fatalf("cluster result missing or wrong length: %+v", res.Cluster)
 	}
-	if res.Scenario.Seed != DefaultSeed || res.Scenario.Band != "low" || res.Scenario.Sleep != "auto" {
+	if res.Scenario.SeedValue() != DefaultSeed || res.Scenario.Band != "low" || res.Scenario.Sleep != "auto" {
 		t.Errorf("defaults not normalized: %+v", res.Scenario)
 	}
 	if res.AlwaysOnJoules <= 0 {
@@ -158,11 +159,11 @@ func TestRunScenarioClusterDefaults(t *testing.T) {
 // TestScenarioMatchesDirectRun: a scenario run must be bit-identical to
 // calling the underlying experiment runner directly.
 func TestScenarioMatchesDirectRun(t *testing.T) {
-	res, err := NewPool(4).RunScenario(Scenario{Size: 60, Band: "high", Seed: 7, Intervals: 6, Sleep: "c6"})
+	res, err := NewPool(4).RunScenario(context.Background(), Scenario{Size: 60, Band: "high", Seed: SeedOf(7), Intervals: 6, Sleep: "c6"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := RunCluster(60, workload.HighLoad(), 7, 6, func(c *cluster.Config) {
+	direct, err := RunCluster(context.Background(), 60, workload.HighLoad(), 7, 6, func(c *cluster.Config) {
 		c.Sleep = cluster.SleepC6Only
 	})
 	if err != nil {
@@ -176,7 +177,7 @@ func TestScenarioMatchesDirectRun(t *testing.T) {
 func TestRunScenarioPolicyProfiles(t *testing.T) {
 	p := NewPool(4)
 	for _, profile := range workload.ProfileNames() {
-		res, err := p.RunScenario(Scenario{
+		res, err := p.RunScenario(context.Background(), Scenario{
 			Kind: KindPolicy, Profile: profile, Servers: 40, HorizonSeconds: 600,
 		})
 		if err != nil {
@@ -196,22 +197,22 @@ func TestRunScenarioPolicyProfiles(t *testing.T) {
 func TestScenarioValidation(t *testing.T) {
 	bad := []Scenario{
 		{Kind: "quantum"},
-		{Kind: KindCluster, Size: 1, Intervals: 5, Band: "low", Sleep: "auto", Seed: 1},
-		{Kind: KindCluster, Size: 50, Intervals: 5, Band: "sideways", Sleep: "auto", Seed: 1},
-		{Kind: KindCluster, Size: 50, Intervals: 5, Band: "low", Sleep: "perchance", Seed: 1},
-		{Kind: KindPolicy, Profile: "nosuch", BaseRate: 1, PeakRate: 1, Seed: 1},
+		{Kind: KindCluster, Size: 1, Intervals: 5, Band: "low", Sleep: "auto", Seed: SeedOf(1)},
+		{Kind: KindCluster, Size: 50, Intervals: 5, Band: "sideways", Sleep: "auto", Seed: SeedOf(1)},
+		{Kind: KindCluster, Size: 50, Intervals: 5, Band: "low", Sleep: "perchance", Seed: SeedOf(1)},
+		{Kind: KindPolicy, Profile: "nosuch", BaseRate: 1, PeakRate: 1, Seed: SeedOf(1)},
 		// One network request must not buy an unbounded simulation.
-		{Kind: KindCluster, Size: MaxScenarioSize + 1, Intervals: 5, Band: "low", Sleep: "auto", Seed: 1},
-		{Kind: KindCluster, Size: 50, Intervals: MaxScenarioIntervals + 1, Band: "low", Sleep: "auto", Seed: 1},
-		{Kind: KindPolicy, Profile: "burst", BaseRate: 1, PeakRate: 1, Seed: 1, Servers: MaxScenarioServers + 1},
-		{Kind: KindPolicy, Profile: "burst", BaseRate: 1, PeakRate: 1, Seed: 1, HorizonSeconds: float64(MaxScenarioHorizon) + 1},
+		{Kind: KindCluster, Size: MaxScenarioSize + 1, Intervals: 5, Band: "low", Sleep: "auto", Seed: SeedOf(1)},
+		{Kind: KindCluster, Size: 50, Intervals: MaxScenarioIntervals + 1, Band: "low", Sleep: "auto", Seed: SeedOf(1)},
+		{Kind: KindPolicy, Profile: "burst", BaseRate: 1, PeakRate: 1, Seed: SeedOf(1), Servers: MaxScenarioServers + 1},
+		{Kind: KindPolicy, Profile: "burst", BaseRate: 1, PeakRate: 1, Seed: SeedOf(1), HorizonSeconds: float64(MaxScenarioHorizon) + 1},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
 			t.Errorf("scenario %d (%+v) unexpectedly valid", i, s)
 		}
 	}
-	if _, err := NewPool(1).RunScenario(Scenario{Kind: "quantum"}); err == nil {
+	if _, err := NewPool(1).RunScenario(context.Background(), Scenario{Kind: "quantum"}); err == nil {
 		t.Error("RunScenario accepted an invalid scenario")
 	}
 }

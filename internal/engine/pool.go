@@ -9,17 +9,26 @@
 // and results land in order-preserving slots, so a sweep executed on N
 // workers is bit-identical to the same sweep executed serially.
 //
-// Two layers are exposed:
+// Three layers are exposed:
 //
-//   - Pool, a bounded worker pool with an order-preserving Map primitive
-//     and atomic run/energy counters (the engine's observability surface,
-//     exported by ealb-serve's /metrics endpoint);
+//   - Pool, a bounded worker pool with an order-preserving, context-aware
+//     Map primitive and atomic run/energy counters (the engine's
+//     observability surface, exported by ealb-serve's /metrics endpoint);
 //   - Scenario/Result, a JSON-friendly description of one simulation
-//     request (cluster protocol run or §3 policy-farm comparison) executed
-//     with (*Pool).RunScenario — the unit of work behind `POST /v1/runs`.
+//     request (cluster protocol run or §3 policy-farm comparison)
+//     executed with (*Pool).RunScenario;
+//   - SweepSpec/SweepResult, the multi-axis generalization behind
+//     `POST /v1/runs`: axis lists expand into a cross-product of
+//     Scenario cells executed with (*Pool).RunSweep, which returns
+//     per-cell results plus per-group aggregate statistics.
+//
+// Every entry point takes a context.Context; cancellation stops running
+// simulations at their next preemption point and fails queued jobs
+// promptly, which is what lets the HTTP service cancel and drain runs.
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -108,9 +117,17 @@ func (p *Pool) Stats() Stats {
 // sweep helpers all follow that pattern, which is what makes parallel
 // sweeps bit-identical to serial ones. Map returns the error of the
 // lowest-indexed failing call, after all calls finish.
-func (p *Pool) Map(n int, fn func(i int) error) error {
+//
+// The context bounds the whole call: once it is cancelled no further job
+// starts (jobs not yet started fail with ctx.Err()), and fn is expected
+// to observe the same context so already-running simulations stop at
+// their next preemption point.
+func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	p.jobsSubmitted.Add(uint64(n))
 	if p.workers == 1 {
@@ -120,7 +137,7 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 		for i := 0; i < n; i++ {
 			p.slots <- struct{}{}
 			p.jobsStarted.Add(1)
-			err := p.run(i, fn)
+			err := p.run(ctx, i, fn)
 			<-p.slots
 			if err != nil && first == nil {
 				first = err
@@ -144,7 +161,7 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 				// goroutines only shape this call's fan-out.
 				p.slots <- struct{}{}
 				p.jobsStarted.Add(1)
-				errs[i] = p.run(i, fn)
+				errs[i] = p.run(ctx, i, fn)
 				<-p.slots
 			}
 		}()
@@ -164,7 +181,9 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 
 // run executes one job, converting panics into errors so a bad scenario
 // cannot take down the pool (the HTTP service runs arbitrary requests).
-func (p *Pool) run(i int, fn func(i int) error) (err error) {
+// A job whose context was cancelled before it starts fails with ctx.Err()
+// without running, so a cancelled sweep drains its queue promptly.
+func (p *Pool) run(ctx context.Context, i int, fn func(i int) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("engine: job %d panicked: %v", i, r)
@@ -175,6 +194,9 @@ func (p *Pool) run(i int, fn func(i int) error) (err error) {
 			p.jobsCompleted.Add(1)
 		}
 	}()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return fn(i)
 }
 

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -46,15 +47,20 @@ const (
 	KindPolicy = "policy"
 )
 
-// Scenario describes one simulation request. It is the JSON body of
-// `POST /v1/runs` on ealb-serve, so every field is a plain string or
-// number; zero values select the paper's defaults.
+// Scenario describes one simulation cell: the scalar form of the JSON
+// body of `POST /v1/runs` on ealb-serve (a SweepSpec generalizes every
+// axis to a list), so every field is a plain string or number; absent
+// fields select the paper's defaults.
 type Scenario struct {
 	// Kind is "cluster" (default) or "policy".
 	Kind string `json:"kind,omitempty"`
 
-	// Seed drives every random stream of the run (default 2014).
-	Seed uint64 `json:"seed,omitempty"`
+	// Seed drives every random stream of the run. A nil Seed selects the
+	// default (2014); an explicit seed — including 0 — is used verbatim.
+	// The pointer distinguishes "field absent" from "seed": 0, which a
+	// plain integer cannot (seed 0 used to be silently rewritten to the
+	// default). Build one with SeedOf.
+	Seed *uint64 `json:"seed,omitempty"`
 
 	// Cluster scenarios (§4-§5).
 	//
@@ -84,13 +90,27 @@ type Scenario struct {
 	HorizonSeconds float64 `json:"horizon_seconds,omitempty"`
 }
 
-// Normalized returns a copy with defaults filled in.
+// SeedOf returns a Scenario/SweepSpec seed holding v. The indirection
+// exists so an explicit seed 0 is distinguishable from an absent field.
+func SeedOf(v uint64) *uint64 { return &v }
+
+// SeedValue returns the scenario's seed, applying the default when the
+// field is absent.
+func (s Scenario) SeedValue() uint64 {
+	if s.Seed == nil {
+		return DefaultSeed
+	}
+	return *s.Seed
+}
+
+// Normalized returns a copy with defaults filled in. Only an absent
+// (nil) seed is defaulted: an explicit seed 0 survives normalization.
 func (s Scenario) Normalized() Scenario {
 	if s.Kind == "" {
 		s.Kind = KindCluster
 	}
-	if s.Seed == 0 {
-		s.Seed = DefaultSeed
+	if s.Seed == nil {
+		s.Seed = SeedOf(DefaultSeed)
 	}
 	switch s.Kind {
 	case KindCluster:
@@ -156,7 +176,7 @@ func (s Scenario) Validate() error {
 // farmConfig derives the policy-farm configuration of a policy scenario.
 func (s Scenario) farmConfig() policy.FarmConfig {
 	cfg := policy.DefaultFarmConfig()
-	cfg.Seed = s.Seed
+	cfg.Seed = s.SeedValue()
 	if s.Servers > 0 {
 		cfg.Servers = s.Servers
 	}
@@ -216,75 +236,23 @@ type Result struct {
 }
 
 // RunScenario normalizes, validates and executes one scenario on the
-// pool, blocking until it completes.
-func (p *Pool) RunScenario(s Scenario) (Result, error) {
+// pool, blocking until it completes. It is exactly a one-cell sweep —
+// the same execution path RunSweep uses, which is what keeps sweep
+// cells bit-identical to individual runs by construction. Cancelling
+// the context stops the underlying simulations at their next preemption
+// point and returns ctx.Err() (possibly wrapped).
+func (p *Pool) RunScenario(ctx context.Context, s Scenario) (Result, error) {
 	s = s.Normalized()
 	if err := s.Validate(); err != nil {
 		return Result{}, err
 	}
-	p.runsStarted.Add(1)
-	res, err := p.runScenario(s)
+	ex := ExpandedSweep{
+		spec:  SweepSpec{Scenario: Scenario{Kind: s.Kind}},
+		cells: []Scenario{s},
+	}
+	res, err := p.RunExpanded(ctx, ex, nil)
 	if err != nil {
-		p.runsFailed.Add(1)
 		return Result{}, err
 	}
-	p.runsCompleted.Add(1)
-	return res, nil
-}
-
-func (p *Pool) runScenario(s Scenario) (Result, error) {
-	res := Result{Kind: s.Kind, Scenario: s}
-	switch s.Kind {
-	case KindCluster:
-		band, err := ParseBand(s.Band)
-		if err != nil {
-			return Result{}, err
-		}
-		sleep, err := ParseSleepPolicy(s.Sleep)
-		if err != nil {
-			return Result{}, err
-		}
-		jobs := []ClusterJob{{
-			Size: s.Size, Band: band, Seed: s.Seed, Intervals: s.Intervals,
-			Mutate: func(c *cluster.Config) { c.Sleep = sleep },
-		}}
-		if s.CompareBaseline {
-			jobs = append(jobs, ClusterJob{
-				Size: s.Size, Band: band, Seed: s.Seed, Intervals: s.Intervals,
-				Mutate: func(c *cluster.Config) { c.Sleep = cluster.SleepNever },
-			})
-		}
-		runs, err := p.SweepCluster(jobs)
-		if err != nil {
-			return Result{}, err
-		}
-		res.Cluster = &runs[0]
-		if s.CompareBaseline {
-			res.AlwaysOnJoules = runs[1].Energy
-			res.JoulesSaved = runs[1].Energy - runs[0].Energy
-			p.addSaved(res.JoulesSaved)
-		}
-	case KindPolicy:
-		cfg := s.farmConfig()
-		rate, err := workload.Profile(s.Profile, s.BaseRate, s.PeakRate, cfg.Horizon)
-		if err != nil {
-			return Result{}, err
-		}
-		pols := policy.StandardSetFor(cfg, rate)
-		out := make([]policy.Result, len(pols))
-		err = p.Map(len(pols), func(i int) error {
-			r, err := policy.Simulate(cfg, pols[i], rate)
-			if err != nil {
-				return err
-			}
-			out[i] = r
-			p.addJoules(float64(r.Energy))
-			return nil
-		})
-		if err != nil {
-			return Result{}, err
-		}
-		res.Policies = out
-	}
-	return res, nil
+	return res.Cells[0], nil
 }

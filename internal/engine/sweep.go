@@ -1,0 +1,386 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"ealb/internal/cluster"
+	"ealb/internal/policy"
+	"ealb/internal/workload"
+)
+
+// MaxScenarioJobs bounds the total number of simulation jobs one sweep
+// request may expand into (cells × per-cell jobs: a baseline comparison
+// doubles a cluster cell, a policy cell runs the whole §3 line-up). The
+// service executes arbitrary network requests, so one request must not
+// buy an unbounded cross-product.
+const MaxScenarioJobs = 4096
+
+// SweepSpec is the v2 scenario request: every sweep axis of the paper's
+// §5 panels may be a list, and the engine expands the cross-product into
+// individual Scenario cells. The embedded Scenario carries the scalar
+// form of each field, so a v1 single-run JSON body decodes unchanged — a
+// scalar is simply a one-element axis. Giving both the scalar and the
+// list form of the same axis is an error.
+//
+// Cluster axes: Seeds, Sizes, Bands, Sleeps. Policy axes: Seeds,
+// Profiles, ServerCounts. Cells expand in deterministic order — the
+// rightmost axis varies fastest: sizes → bands → sleeps → seeds →
+// replications for cluster sweeps, profiles → server counts → seeds →
+// replications for policy sweeps — and every cell records its fully
+// normalized Scenario, so any cell can be re-run individually with a
+// bit-identical result.
+type SweepSpec struct {
+	Scenario
+
+	// Seeds is the seed axis. Replication r of seed s runs with seed
+	// s + r, so `"seeds": [1], "replications": 3` sweeps seeds 1, 2, 3.
+	Seeds []uint64 `json:"seeds,omitempty"`
+
+	// Cluster axes.
+	Sizes  []int    `json:"sizes,omitempty"`
+	Bands  []string `json:"bands,omitempty"`
+	Sleeps []string `json:"sleeps,omitempty"`
+
+	// Policy axes.
+	Profiles     []string `json:"profiles,omitempty"`
+	ServerCounts []int    `json:"server_counts,omitempty"`
+
+	// Replications runs every seed-axis entry Replications times with
+	// consecutive derived seeds (default 1). Aggregates are computed per
+	// parameter combination across its seeds × replications.
+	Replications int `json:"replications,omitempty"`
+}
+
+// SingleRun reports whether the spec is a plain v1 single-scenario
+// request: no list axis and no replication fan-out.
+func (sp SweepSpec) SingleRun() bool {
+	return len(sp.Seeds) == 0 && len(sp.Sizes) == 0 && len(sp.Bands) == 0 &&
+		len(sp.Sleeps) == 0 && len(sp.Profiles) == 0 && len(sp.ServerCounts) == 0 &&
+		sp.Replications <= 1
+}
+
+// axisConflicts rejects specs that give both the scalar and the list
+// form of one axis — the request would be ambiguous.
+func (sp SweepSpec) axisConflicts() error {
+	type conflict struct {
+		scalar, list string
+		both         bool
+	}
+	for _, c := range []conflict{
+		{"seed", "seeds", sp.Scenario.Seed != nil && len(sp.Seeds) > 0},
+		{"size", "sizes", sp.Scenario.Size != 0 && len(sp.Sizes) > 0},
+		{"band", "bands", sp.Scenario.Band != "" && len(sp.Bands) > 0},
+		{"sleep", "sleeps", sp.Scenario.Sleep != "" && len(sp.Sleeps) > 0},
+		{"profile", "profiles", sp.Scenario.Profile != "" && len(sp.Profiles) > 0},
+		{"servers", "server_counts", sp.Scenario.Servers != 0 && len(sp.ServerCounts) > 0},
+	} {
+		if c.both {
+			return fmt.Errorf("engine: sweep gives both %q and %q; use one", c.scalar, c.list)
+		}
+	}
+	return nil
+}
+
+// ExpandedSweep is a validated sweep: the normalized spec plus its
+// cross-product cells in deterministic order. Produced by
+// SweepSpec.Expand and executed with (*Pool).RunExpanded; the fields are
+// unexported so the cells always match the spec.
+type ExpandedSweep struct {
+	spec  SweepSpec
+	cells []Scenario
+}
+
+// Spec returns the normalized spec.
+func (e ExpandedSweep) Spec() SweepSpec { return e.spec }
+
+// Cells returns the expansion cells in order. The slice is shared;
+// callers must not mutate it.
+func (e ExpandedSweep) Cells() []Scenario { return e.cells }
+
+// Expand validates the spec and expands its cross-product. Every cell
+// is normalized and validated, and the total job count is capped by
+// MaxScenarioJobs — checked arithmetically before anything is
+// materialized, so a tiny request body cannot buy an enormous
+// expansion.
+func (sp SweepSpec) Expand() (ExpandedSweep, error) {
+	fail := func(err error) (ExpandedSweep, error) { return ExpandedSweep{}, err }
+	if err := sp.axisConflicts(); err != nil {
+		return fail(err)
+	}
+	if sp.Kind == "" {
+		sp.Kind = KindCluster
+	}
+	if sp.Replications == 0 {
+		sp.Replications = 1
+	}
+	if sp.Replications < 0 {
+		return fail(fmt.Errorf("engine: negative replications %d", sp.Replications))
+	}
+
+	// Promote scalars into one-element axes, rejecting axis lists that
+	// do not belong to the scenario kind — silently dropping an explicit
+	// axis would execute something the client did not ask for. An absent
+	// cluster/policy scalar stays absent here and picks up its default
+	// per cell via Scenario.Normalized, so a v1 body expands to exactly
+	// its v1 cell.
+	if len(sp.Seeds) == 0 {
+		sp.Seeds = []uint64{sp.SeedValue()}
+	}
+	sp.Scenario.Seed = nil
+	perCellJobs := 1
+	switch sp.Kind {
+	case KindCluster:
+		if len(sp.Profiles) > 0 || len(sp.ServerCounts) > 0 {
+			return fail(fmt.Errorf(`engine: "profiles"/"server_counts" are policy axes; this is a %q sweep`, sp.Kind))
+		}
+		if len(sp.Sizes) == 0 {
+			sp.Sizes = []int{sp.Scenario.Size}
+		}
+		if len(sp.Bands) == 0 {
+			sp.Bands = []string{sp.Scenario.Band}
+		}
+		if len(sp.Sleeps) == 0 {
+			sp.Sleeps = []string{sp.Scenario.Sleep}
+		}
+		sp.Scenario.Size = 0
+		sp.Scenario.Band = ""
+		sp.Scenario.Sleep = ""
+		if sp.CompareBaseline {
+			perCellJobs = 2
+		}
+	case KindPolicy:
+		if len(sp.Sizes) > 0 || len(sp.Bands) > 0 || len(sp.Sleeps) > 0 {
+			return fail(fmt.Errorf(`engine: "sizes"/"bands"/"sleeps" are cluster axes; this is a %q sweep`, sp.Kind))
+		}
+		if len(sp.Profiles) == 0 {
+			sp.Profiles = []string{sp.Scenario.Profile}
+		}
+		if len(sp.ServerCounts) == 0 {
+			sp.ServerCounts = []int{sp.Scenario.Servers}
+		}
+		sp.Scenario.Profile = ""
+		sp.Scenario.Servers = 0
+		perCellJobs = len(policy.StandardSet(0, nil))
+	default:
+		return fail(fmt.Errorf("engine: unknown scenario kind %q (want %q or %q)", sp.Kind, KindCluster, KindPolicy))
+	}
+
+	// The job budget, checked by division before each multiplication so
+	// an attacker-sized factor (e.g. replications near MaxInt64) cannot
+	// overflow the product past the comparison.
+	jobs := perCellJobs
+	for _, factor := range []int{
+		len(sp.Seeds), len(sp.Sizes), len(sp.Bands), len(sp.Sleeps),
+		len(sp.Profiles), len(sp.ServerCounts), sp.Replications,
+	} {
+		if factor == 0 {
+			continue
+		}
+		if factor > MaxScenarioJobs/jobs {
+			return fail(fmt.Errorf("engine: sweep expands to more than %d jobs", MaxScenarioJobs))
+		}
+		jobs *= factor
+	}
+
+	var cells []Scenario
+	addCell := func(c Scenario) error {
+		for rep := 0; rep < sp.Replications; rep++ {
+			cell := c
+			cell.Seed = SeedOf(*c.Seed + uint64(rep))
+			cell = cell.Normalized()
+			if err := cell.Validate(); err != nil {
+				return fmt.Errorf("engine: sweep cell %d: %w", len(cells), err)
+			}
+			cells = append(cells, cell)
+		}
+		return nil
+	}
+	switch sp.Kind {
+	case KindCluster:
+		for _, size := range sp.Sizes {
+			for _, band := range sp.Bands {
+				for _, sleep := range sp.Sleeps {
+					for _, seed := range sp.Seeds {
+						cell := sp.Scenario
+						cell.Size, cell.Band, cell.Sleep = size, band, sleep
+						cell.Seed = SeedOf(seed)
+						if err := addCell(cell); err != nil {
+							return fail(err)
+						}
+					}
+				}
+			}
+		}
+	case KindPolicy:
+		for _, profile := range sp.Profiles {
+			for _, servers := range sp.ServerCounts {
+				for _, seed := range sp.Seeds {
+					cell := sp.Scenario
+					cell.Profile, cell.Servers = profile, servers
+					cell.Seed = SeedOf(seed)
+					if err := addCell(cell); err != nil {
+						return fail(err)
+					}
+				}
+			}
+		}
+	}
+	return ExpandedSweep{spec: sp, cells: cells}, nil
+}
+
+// SweepResult is the outcome of a sweep: the normalized spec, every
+// cell's result in expansion order, and per-parameter-combination
+// aggregate statistics.
+type SweepResult struct {
+	Spec       SweepSpec   `json:"spec"`
+	Cells      []Result    `json:"cells"`
+	Aggregates []Aggregate `json:"aggregates"`
+}
+
+// RunSweep expands, validates and executes a sweep spec on the pool,
+// blocking until every cell completes. Cell results are bit-identical to
+// running each cell individually with RunScenario: every cell derives
+// its own random streams from its seed and lands in an order-preserving
+// slot. Cancelling the context stops running simulations at their next
+// interval and fails unstarted cells promptly.
+func (p *Pool) RunSweep(ctx context.Context, spec SweepSpec) (SweepResult, error) {
+	return p.RunSweepObserved(ctx, spec, nil)
+}
+
+// RunSweepObserved is RunSweep with a live interval observer: observe
+// (when non-nil) receives every completed reallocation interval of every
+// cluster cell, identified by the cell's expansion index, while the
+// sweep is still running. It is called from worker goroutines and must
+// be safe for concurrent use. Baseline comparison runs are not observed.
+func (p *Pool) RunSweepObserved(ctx context.Context, spec SweepSpec, observe func(cell int, st cluster.IntervalStats)) (SweepResult, error) {
+	ex, err := spec.Expand()
+	if err != nil {
+		return SweepResult{}, err
+	}
+	return p.RunExpanded(ctx, ex, observe)
+}
+
+// RunExpanded executes an already-expanded sweep, so callers that
+// expanded the spec for validation (the HTTP service does, on submit)
+// need not pay for a second expansion.
+func (p *Pool) RunExpanded(ctx context.Context, ex ExpandedSweep, observe func(cell int, st cluster.IntervalStats)) (SweepResult, error) {
+	p.runsStarted.Add(1)
+	res, err := p.runSweep(ctx, ex.spec, ex.cells, observe)
+	if err != nil {
+		p.runsFailed.Add(1)
+		return SweepResult{}, err
+	}
+	p.runsCompleted.Add(1)
+	return res, nil
+}
+
+// runSweep executes the expanded cells. Cluster cells flatten into one
+// pool-level job list (nesting Map calls would deadlock a saturated
+// pool); policy cells flatten into one job per (cell, policy) pair.
+func (p *Pool) runSweep(ctx context.Context, spec SweepSpec, cells []Scenario, observe func(int, cluster.IntervalStats)) (SweepResult, error) {
+	out := SweepResult{Spec: spec, Cells: make([]Result, len(cells))}
+	switch spec.Kind {
+	case KindCluster:
+		if err := p.runClusterCells(ctx, cells, out.Cells, observe); err != nil {
+			return SweepResult{}, err
+		}
+	case KindPolicy:
+		if err := p.runPolicyCells(ctx, cells, out.Cells); err != nil {
+			return SweepResult{}, err
+		}
+	}
+	out.Aggregates = Aggregates(out.Cells)
+	return out, nil
+}
+
+func (p *Pool) runClusterCells(ctx context.Context, cells []Scenario, results []Result, observe func(int, cluster.IntervalStats)) error {
+	type slot struct {
+		cell     int
+		baseline bool
+	}
+	var jobs []ClusterJob
+	var slots []slot
+	for ci, cell := range cells {
+		band, err := ParseBand(cell.Band)
+		if err != nil {
+			return err
+		}
+		sleep, err := ParseSleepPolicy(cell.Sleep)
+		if err != nil {
+			return err
+		}
+		job := ClusterJob{
+			Size: cell.Size, Band: band, Seed: cell.SeedValue(), Intervals: cell.Intervals,
+			Mutate: func(c *cluster.Config) { c.Sleep = sleep },
+		}
+		if observe != nil {
+			ci := ci
+			job.Observe = func(st cluster.IntervalStats) { observe(ci, st) }
+		}
+		jobs = append(jobs, job)
+		slots = append(slots, slot{cell: ci})
+		if cell.CompareBaseline {
+			jobs = append(jobs, ClusterJob{
+				Size: cell.Size, Band: band, Seed: cell.SeedValue(), Intervals: cell.Intervals,
+				Mutate: func(c *cluster.Config) { c.Sleep = cluster.SleepNever },
+			})
+			slots = append(slots, slot{cell: ci, baseline: true})
+		}
+	}
+	runs, err := p.SweepCluster(ctx, jobs)
+	if err != nil {
+		return err
+	}
+	for ji, sl := range slots {
+		res := &results[sl.cell]
+		if sl.baseline {
+			res.AlwaysOnJoules = runs[ji].Energy
+			continue
+		}
+		run := runs[ji]
+		res.Kind = cells[sl.cell].Kind
+		res.Scenario = cells[sl.cell]
+		res.Cluster = &run
+	}
+	for ci := range results {
+		if cells[ci].CompareBaseline {
+			results[ci].JoulesSaved = results[ci].AlwaysOnJoules - results[ci].Cluster.Energy
+			p.addSaved(results[ci].JoulesSaved)
+		}
+	}
+	return nil
+}
+
+func (p *Pool) runPolicyCells(ctx context.Context, cells []Scenario, results []Result) error {
+	type job struct {
+		cell, pi int
+	}
+	var jobs []job
+	pols := make([][]policy.Policy, len(cells))
+	cfgs := make([]policy.FarmConfig, len(cells))
+	rates := make([]workload.RateFunc, len(cells))
+	for ci, cell := range cells {
+		cfg := cell.farmConfig()
+		rate, err := workload.Profile(cell.Profile, cell.BaseRate, cell.PeakRate, cfg.Horizon)
+		if err != nil {
+			return err
+		}
+		cfgs[ci], rates[ci] = cfg, rate
+		pols[ci] = policy.StandardSetFor(cfg, rate)
+		results[ci] = Result{Kind: cell.Kind, Scenario: cell, Policies: make([]policy.Result, len(pols[ci]))}
+		for pi := range pols[ci] {
+			jobs = append(jobs, job{cell: ci, pi: pi})
+		}
+	}
+	return p.Map(ctx, len(jobs), func(i int) error {
+		j := jobs[i]
+		r, err := policy.Simulate(ctx, cfgs[j.cell], pols[j.cell][j.pi], rates[j.cell])
+		if err != nil {
+			return fmt.Errorf("engine: sweep cell %d policy %q: %w", j.cell, pols[j.cell][j.pi].Name(), err)
+		}
+		results[j.cell].Policies[j.pi] = r
+		p.addJoules(float64(r.Energy))
+		return nil
+	})
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -33,7 +34,7 @@ func RunDVFSStudy() ([]DVFSStudy, error) {
 func RunDVFSStudyOn(p *engine.Pool) ([]DVFSStudy, error) {
 	demands := []units.Fraction{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 	out := make([]DVFSStudy, len(demands))
-	err := p.Map(len(demands), func(i int) error {
+	err := p.Map(context.Background(), len(demands), func(i int) error {
 		demand := demands[i]
 		base, err := power.NewLinear(100, 200)
 		if err != nil {

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -37,9 +38,11 @@ var PaperBands = []workload.Band{workload.LowLoad(), workload.HighLoad()}
 type ClusterRun = engine.ClusterRun
 
 // RunCluster executes the §5 experiment for one cluster size and load
-// band and returns the measurements behind Figures 2-3 and Table 2.
+// band and returns the measurements behind Figures 2-3 and Table 2. The
+// experiment runners are batch reproductions, so they run uncancelled;
+// services that need cancellation call engine.RunCluster directly.
 func RunCluster(size int, band workload.Band, seed uint64, intervals int, mutate func(*cluster.Config)) (ClusterRun, error) {
-	return engine.RunCluster(size, band, seed, intervals, mutate)
+	return engine.RunCluster(context.Background(), size, band, seed, intervals, mutate)
 }
 
 // panelJobs enumerates the (size × band) sweep of §5 in panel order.
@@ -63,7 +66,7 @@ func Figure2(sizes []int, seed uint64, intervals int) ([]ClusterRun, error) {
 // independent simulations with per-panel RNG derivation, so the result is
 // identical to the serial sweep regardless of the pool's width.
 func Figure2On(p *engine.Pool, sizes []int, seed uint64, intervals int) ([]ClusterRun, error) {
-	runs, err := p.SweepCluster(panelJobs(sizes, seed, intervals))
+	runs, err := p.SweepCluster(context.Background(), panelJobs(sizes, seed, intervals))
 	if err != nil {
 		return nil, fmt.Errorf("figure2: %w", err)
 	}
@@ -185,7 +188,7 @@ func EnergySavingsSweepOn(p *engine.Pool, sizes []int, bands []workload.Band, se
 					Mutate: func(c *cluster.Config) { c.Sleep = cluster.SleepNever }})
 		}
 	}
-	runs, err := p.SweepCluster(jobs)
+	runs, err := p.SweepCluster(context.Background(), jobs)
 	if err != nil {
 		return nil, err
 	}

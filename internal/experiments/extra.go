@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -102,7 +103,7 @@ func RenderPolicies(w io.Writer, cfg policy.FarmConfig) error {
 	loads := PolicyWorkloads(cfg.Horizon)
 	for _, name := range names {
 		rate := loads[name]
-		results, err := policy.Compare(cfg, policy.StandardSetFor(cfg, rate), rate)
+		results, err := policy.Compare(context.Background(), cfg, policy.StandardSetFor(cfg, rate), rate)
 		if err != nil {
 			return err
 		}
@@ -153,7 +154,7 @@ func RunSleepAblation(size int, band workload.Band, seed uint64, intervals int) 
 		if err != nil {
 			return nil, err
 		}
-		if _, err := c.RunIntervals(intervals); err != nil {
+		if _, err := c.RunIntervals(context.Background(), intervals); err != nil {
 			return nil, err
 		}
 		ab := SleepAblation{

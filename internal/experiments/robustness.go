@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -40,7 +41,7 @@ func RunRobustnessOn(p *engine.Pool, size int, band workload.Band, seeds []uint6
 	for i, seed := range seeds {
 		jobs[i] = engine.ClusterJob{Size: size, Band: band, Seed: seed, Intervals: intervals}
 	}
-	results, err := p.SweepCluster(jobs)
+	results, err := p.SweepCluster(context.Background(), jobs)
 	if err != nil {
 		return Robustness{}, err
 	}

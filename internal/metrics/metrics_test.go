@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -143,7 +144,7 @@ func TestFromRunAndCSVOnRealSimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sts, err := c.RunIntervals(8)
+	sts, err := c.RunIntervals(context.Background(), 8)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -126,7 +127,10 @@ func (r Result) DropRate() float64 {
 // mean rate(t)·dt; arrivals beyond active capacity in a slot are dropped
 // and the slot is an SLA violation. Energy integrates active draw
 // (linear in utilization), setup draw (peak), and sleep draw.
-func Simulate(cfg FarmConfig, pol Policy, rate workload.RateFunc) (Result, error) {
+//
+// The context is checked every decision slot; cancelling it abandons the
+// run and returns ctx.Err().
+func Simulate(ctx context.Context, cfg FarmConfig, pol Policy, rate workload.RateFunc) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -135,6 +139,9 @@ func Simulate(cfg FarmConfig, pol Policy, rate workload.RateFunc) (Result, error
 	}
 	if rate == nil {
 		return Result{}, fmt.Errorf("policy: nil rate function")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 
 	rng := xrand.New(cfg.Seed)
@@ -163,6 +170,9 @@ func Simulate(cfg FarmConfig, pol Policy, rate workload.RateFunc) (Result, error
 	var sumRT float64
 	rtSlots := 0
 	for now := units.Seconds(0); now < cfg.Horizon; now += cfg.Dt {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		// Finish setups that completed during this slot.
 		remaining := setups[:0]
 		for _, doneAt := range setups {
@@ -265,10 +275,10 @@ func Simulate(cfg FarmConfig, pol Policy, rate workload.RateFunc) (Result, error
 
 // Compare runs every policy against the same workload and returns the
 // results in input order.
-func Compare(cfg FarmConfig, pols []Policy, rate workload.RateFunc) ([]Result, error) {
+func Compare(ctx context.Context, cfg FarmConfig, pols []Policy, rate workload.RateFunc) ([]Result, error) {
 	out := make([]Result, 0, len(pols))
 	for _, p := range pols {
-		r, err := Simulate(cfg, p, rate)
+		r, err := Simulate(ctx, cfg, p, rate)
 		if err != nil {
 			return nil, fmt.Errorf("policy %q: %w", p.Name(), err)
 		}

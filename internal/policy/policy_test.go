@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"testing"
 
 	"ealb/internal/units"
@@ -139,7 +140,7 @@ func TestFarmConfigValidate(t *testing.T) {
 func TestSimulateBasics(t *testing.T) {
 	cfg := DefaultFarmConfig()
 	cfg.Horizon = 1800
-	res, err := Simulate(cfg, Reactive{}, workload.ConstantRate(2000))
+	res, err := Simulate(context.Background(), cfg, Reactive{}, workload.ConstantRate(2000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,14 +160,14 @@ func TestSimulateBasics(t *testing.T) {
 
 func TestSimulateErrors(t *testing.T) {
 	cfg := DefaultFarmConfig()
-	if _, err := Simulate(cfg, nil, workload.ConstantRate(1)); err == nil {
+	if _, err := Simulate(context.Background(), cfg, nil, workload.ConstantRate(1)); err == nil {
 		t.Error("nil policy must error")
 	}
-	if _, err := Simulate(cfg, Reactive{}, nil); err == nil {
+	if _, err := Simulate(context.Background(), cfg, Reactive{}, nil); err == nil {
 		t.Error("nil rate must error")
 	}
 	cfg.Servers = 0
-	if _, err := Simulate(cfg, Reactive{}, workload.ConstantRate(1)); err == nil {
+	if _, err := Simulate(context.Background(), cfg, Reactive{}, workload.ConstantRate(1)); err == nil {
 		t.Error("invalid config must error")
 	}
 }
@@ -180,11 +181,11 @@ func TestSpikeViolations(t *testing.T) {
 	// A flash crowd arrives at t=1800 after a long quiet phase.
 	rate := workload.SpikeRate(500, 4500, 1800, 600)
 
-	reactive, err := Simulate(cfg, Reactive{}, rate)
+	reactive, err := Simulate(context.Background(), cfg, Reactive{}, rate)
 	if err != nil {
 		t.Fatal(err)
 	}
-	oracle, err := Simulate(cfg, Oracle{Rate: rate, Setup: cfg.SetupTime}, rate)
+	oracle, err := Simulate(context.Background(), cfg, Oracle{Rate: rate, Setup: cfg.SetupTime}, rate)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,11 +201,11 @@ func TestExtraCapacityTradesEnergyForViolations(t *testing.T) {
 	cfg := DefaultFarmConfig()
 	cfg.Horizon = 3600
 	rate := workload.Compose(workload.ConstantRate(800), workload.SpikeRate(0, 1200, 1200, 400))
-	plain, err := Simulate(cfg, Reactive{}, rate)
+	plain, err := Simulate(context.Background(), cfg, Reactive{}, rate)
 	if err != nil {
 		t.Fatal(err)
 	}
-	extra, err := Simulate(cfg, ReactiveExtra{Margin: 0.3}, rate)
+	extra, err := Simulate(context.Background(), cfg, ReactiveExtra{Margin: 0.3}, rate)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,12 +222,12 @@ func TestAlwaysOnBaselineUsesMostEnergy(t *testing.T) {
 	cfg := DefaultFarmConfig()
 	cfg.Horizon = 3600
 	rate := workload.ConstantRate(2000)
-	dynamic, err := Simulate(cfg, Reactive{}, rate)
+	dynamic, err := Simulate(context.Background(), cfg, Reactive{}, rate)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Always-on: a "policy" that pins the target at the farm size.
-	alwaysOn, err := Simulate(cfg, ReactiveExtra{Margin: 1e9}, rate)
+	alwaysOn, err := Simulate(context.Background(), cfg, ReactiveExtra{Margin: 1e9}, rate)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestCompareRunsAll(t *testing.T) {
 	cfg.Horizon = 1200
 	rate := workload.DiurnalRate(500, 1500, 7200)
 	pols := StandardSet(cfg.SetupTime, rate)
-	results, err := Compare(cfg, pols, rate)
+	results, err := Compare(context.Background(), cfg, pols, rate)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,12 +278,12 @@ func TestResponseTimeModel(t *testing.T) {
 	cfg := DefaultFarmConfig()
 	cfg.Horizon = 1800
 	// A generously provisioned farm: low utilization, fast responses.
-	relaxed, err := Simulate(cfg, ReactiveExtra{Margin: 1.0}, workload.ConstantRate(1000))
+	relaxed, err := Simulate(context.Background(), cfg, ReactiveExtra{Margin: 1.0}, workload.ConstantRate(1000))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A tightly provisioned farm: high utilization, slow responses.
-	tight, err := Simulate(cfg, Reactive{}, workload.ConstantRate(1000))
+	tight, err := Simulate(context.Background(), cfg, Reactive{}, workload.ConstantRate(1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,14 +309,14 @@ func TestResponseTargetConfigurable(t *testing.T) {
 	cfg := DefaultFarmConfig()
 	cfg.Horizon = 900
 	cfg.ResponseTarget = 1e6 // effectively no constraint
-	r, err := Simulate(cfg, Reactive{}, workload.ConstantRate(2000))
+	r, err := Simulate(context.Background(), cfg, Reactive{}, workload.ConstantRate(2000))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// With an enormous target, only unstable (ρ≥1) slots violate.
 	strictCfg := cfg
 	strictCfg.ResponseTarget = units.Seconds(1.01 / cfg.PerServerRate) // barely above service time
-	strict, err := Simulate(strictCfg, Reactive{}, workload.ConstantRate(2000))
+	strict, err := Simulate(context.Background(), strictCfg, Reactive{}, workload.ConstantRate(2000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,11 +330,11 @@ func TestDeterministicSimulation(t *testing.T) {
 	cfg := DefaultFarmConfig()
 	cfg.Horizon = 1200
 	rate := workload.DiurnalRate(500, 1500, 7200)
-	a, err := Simulate(cfg, Reactive{}, rate)
+	a, err := Simulate(context.Background(), cfg, Reactive{}, rate)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Simulate(cfg, Reactive{}, rate)
+	b, err := Simulate(context.Background(), cfg, Reactive{}, rate)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,21 +2,33 @@
 // service — the `ealb-serve` daemon. Clients submit scenario specs as
 // JSON and the service executes them on a shared engine pool:
 //
-//	POST /v1/runs                submit a scenario (?wait=1 blocks)
-//	GET  /v1/runs                list runs, newest last
-//	GET  /v1/runs/{id}           one run with its result summary
-//	GET  /v1/runs/{id}/intervals stream per-interval stats as NDJSON
-//	GET  /metrics                plain-text engine/service counters
-//	GET  /healthz                liveness probe
+//	POST   /v1/runs                 submit a scenario or sweep (?wait=1 blocks)
+//	GET    /v1/runs                 list runs, newest last (?status=, ?limit=)
+//	GET    /v1/runs/{id}            one run with its result summary
+//	GET    /v1/runs/{id}/intervals  stream per-interval stats as NDJSON;
+//	                                tails a running simulation live (?cell=
+//	                                selects a sweep cell, default 0)
+//	DELETE /v1/runs/{id}            cancel a queued or running run
+//	GET    /metrics                 Prometheus text-format engine/service counters
+//	GET    /healthz                 liveness probe
+//
+// A request body is an engine.SweepSpec: the v1 single-run scalar form
+// still round-trips unchanged, and any sweep axis may be a list
+// (`{"sizes":[100,1000],"seeds":[1,2,3]}` runs six cells and returns
+// per-cell results plus aggregates). Every run executes under its own
+// context.Context: DELETE cancels it, a ?wait=1 client disconnect
+// cancels it, and Shutdown drains or cancels all of them.
 //
 // The service holds finished runs in memory; it is a simulation front
-// end, not a database. Every run records the normalized scenario it
+// end, not a database. Every run records the normalized spec it
 // executed, so a result can always be reproduced bit-for-bit from its
 // recorded spec and seed.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -24,24 +36,40 @@ import (
 	"sync"
 	"time"
 
+	"ealb/internal/cluster"
 	"ealb/internal/engine"
 )
 
 // Run statuses.
 const (
-	StatusQueued  = "queued"
-	StatusRunning = "running"
-	StatusDone    = "done"
-	StatusFailed  = "failed"
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
 )
 
-// Run is one submitted scenario and, once finished, its result.
+// Statuses lists every run status the service reports.
+func Statuses() []string {
+	return []string{StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled}
+}
+
+// Run is one submitted request and, once finished, its result. A
+// single-scenario request (the v1 body) reports Scenario and Result; a
+// sweep request reports Spec and Sweep.
 type Run struct {
-	ID       string          `json:"id"`
-	Status   string          `json:"status"`
-	Scenario engine.Scenario `json:"scenario"`
-	Error    string          `json:"error,omitempty"`
-	Result   *engine.Result  `json:"result,omitempty"`
+	ID     string `json:"id"`
+	Status string `json:"status"`
+
+	// Scenario and Result are set for single-scenario runs (v1 shape).
+	Scenario *engine.Scenario `json:"scenario,omitempty"`
+	Result   *engine.Result   `json:"result,omitempty"`
+
+	// Spec and Sweep are set for multi-cell sweep runs.
+	Spec  *engine.SweepSpec   `json:"spec,omitempty"`
+	Sweep *engine.SweepResult `json:"sweep,omitempty"`
+
+	Error string `json:"error,omitempty"`
 
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
@@ -50,25 +78,41 @@ type Run struct {
 	// seq orders the run list by submission; the zero-padded ID would
 	// sort lexicographically wrong past run-999999.
 	seq int
+	// expanded is the validated, expanded sweep the run executes (also
+	// set for single-scenario runs, whose public Spec field stays
+	// empty).
+	expanded engine.ExpandedSweep
+	// single marks a v1 single-scenario presentation.
+	single bool
+	// cancel aborts the run's context (DELETE, Shutdown).
+	cancel context.CancelFunc
+	// tail buffers per-interval stats of cluster cells for live
+	// streaming; nil for policy runs.
+	tail *tail
 }
 
 // summary is the list view of a run: everything but the full result.
 type summary struct {
-	ID       string          `json:"id"`
-	Status   string          `json:"status"`
-	Scenario engine.Scenario `json:"scenario"`
-	Error    string          `json:"error,omitempty"`
-	Created  time.Time       `json:"created"`
+	ID       string            `json:"id"`
+	Status   string            `json:"status"`
+	Scenario *engine.Scenario  `json:"scenario,omitempty"`
+	Spec     *engine.SweepSpec `json:"spec,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Created  time.Time         `json:"created"`
 }
 
 // Server is the HTTP scenario service.
 type Server struct {
 	pool *engine.Pool
 
-	mu     sync.Mutex
-	runs   map[string]*Run
-	nextID int
-	wg     sync.WaitGroup // in-flight async runs (for tests and shutdown)
+	mu       sync.Mutex
+	runs     map[string]*Run
+	nextID   int
+	draining bool
+	// wg counts every in-flight run — synchronous and asynchronous —
+	// and is incremented in newRun under mu, so Shutdown's draining
+	// flag and the drain wait cannot race a submission.
+	wg sync.WaitGroup
 }
 
 // New builds a service executing scenarios on the given pool.
@@ -82,6 +126,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs", s.handleList)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/runs/{id}/intervals", s.handleIntervals)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -90,76 +135,172 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// Wait blocks until every asynchronously submitted run has finished.
+// Wait blocks until every in-flight run has finished.
 func (s *Server) Wait() { s.wg.Wait() }
 
-// handleSubmit accepts a scenario spec, validates it and executes it on
-// the engine — asynchronously by default, synchronously with ?wait=1.
+// Shutdown drains the service for process exit: new submissions are
+// rejected with 503, and Shutdown blocks until every in-flight run has
+// finished. When ctx expires first, every remaining run is cancelled and
+// Shutdown waits for the cancellations to land, then returns ctx.Err().
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	for _, run := range s.runs {
+		if run.cancel != nil {
+			run.cancel()
+		}
+	}
+	s.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// handleSubmit accepts a scenario or sweep spec, validates it and
+// executes it on the engine — asynchronously by default, synchronously
+// with ?wait=1. A failed (or cancelled) synchronous run answers 422 with
+// the recorded error; only a completed one answers 200.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec engine.Scenario
+	var spec engine.SweepSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid scenario JSON: %v", err))
 		return
 	}
-	spec = spec.Normalized()
-	if err := spec.Validate(); err != nil {
+	ex, err := spec.Expand()
+	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
-	run := s.newRun(spec)
-	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
-		s.execute(run)
-		writeJSON(w, http.StatusOK, s.snapshot(run.ID))
+	wait, _ := strconv.ParseBool(r.URL.Query().Get("wait"))
+	base := context.Background()
+	if wait {
+		// The client's disconnect cancels a synchronous run; DELETE from
+		// another connection can too.
+		base = r.Context()
+	}
+	ctx, cancel := context.WithCancel(base)
+	run, ok := s.newRun(ex, spec.SingleRun(), cancel)
+	if !ok {
+		cancel()
+		httpError(w, http.StatusServiceUnavailable, "service is draining")
 		return
 	}
-	s.wg.Add(1)
+	if wait {
+		func() {
+			defer s.wg.Done()
+			defer cancel()
+			s.execute(ctx, run)
+		}()
+		snap := s.snapshot(run.ID)
+		code := http.StatusOK
+		if snap.Status != StatusDone {
+			code = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, code, snap)
+		return
+	}
 	go func() {
 		defer s.wg.Done()
-		s.execute(run)
+		defer cancel()
+		s.execute(ctx, run)
 	}()
 	writeJSON(w, http.StatusAccepted, s.snapshot(run.ID))
 }
 
-// newRun registers a queued run under a fresh id.
-func (s *Server) newRun(spec engine.Scenario) *Run {
+// newRun registers a queued run under a fresh id and adds it to the
+// drain group. It fails when the service is draining; on success the
+// caller owes one s.wg.Done once the run finishes.
+func (s *Server) newRun(ex engine.ExpandedSweep, single bool, cancel context.CancelFunc) (*Run, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false
+	}
+	s.wg.Add(1)
 	s.nextID++
+	spec := ex.Spec()
 	run := &Run{
 		ID:       fmt.Sprintf("run-%06d", s.nextID),
 		Status:   StatusQueued,
-		Scenario: spec,
 		Created:  time.Now().UTC(),
 		seq:      s.nextID,
+		expanded: ex,
+		single:   single,
+		cancel:   cancel,
+	}
+	if single {
+		sc := ex.Cells()[0]
+		run.Scenario = &sc
+	} else {
+		sp := spec
+		run.Spec = &sp
+	}
+	if spec.Kind == engine.KindCluster {
+		run.tail = newTail(len(ex.Cells()))
 	}
 	s.runs[run.ID] = run
-	return run
+	return run, true
 }
 
-// execute runs the scenario and records the outcome.
-func (s *Server) execute(run *Run) {
+// execute runs the spec and records the outcome.
+func (s *Server) execute(ctx context.Context, run *Run) {
 	now := time.Now().UTC()
 	s.mu.Lock()
 	run.Status = StatusRunning
 	run.Started = &now
 	s.mu.Unlock()
 
-	res, err := s.pool.RunScenario(run.Scenario)
+	var observe func(int, cluster.IntervalStats)
+	if run.tail != nil {
+		observe = run.tail.observe
+	}
+	res, err := s.pool.RunExpanded(ctx, run.expanded, observe)
 
 	end := time.Now().UTC()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	run.Finished = &end
-	if err != nil {
+	switch {
+	case err == nil:
+		run.Status = StatusDone
+		if run.single {
+			cell := res.Cells[0]
+			run.Result = &cell
+		} else {
+			run.Sweep = &res
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		run.Status = StatusCancelled
+		run.Error = err.Error()
+	default:
 		run.Status = StatusFailed
 		run.Error = err.Error()
-		return
 	}
-	run.Status = StatusDone
-	run.Result = &res
+	s.mu.Unlock()
+
+	// Mark the tail terminal only after the outcome is recorded, so a
+	// reader that observes a released tail finds the full result. A
+	// completed run's intervals live in its result; dropping the tail
+	// buffers avoids holding every interval twice for the rest of the
+	// process lifetime. Failed/cancelled runs keep their partial buffers
+	// — there is no result to serve them from.
+	if run.tail != nil {
+		run.tail.finish(err == nil)
+	}
 }
 
 // snapshot copies a run under the lock so handlers can marshal it
@@ -175,7 +316,32 @@ func (s *Server) snapshot(id string) *Run {
 	return &cp
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	status := q.Get("status")
+	if status != "" {
+		known := false
+		for _, st := range Statuses() {
+			if status == st {
+				known = true
+				break
+			}
+		}
+		if !known {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown status %q (want one of %v)", status, Statuses()))
+			return
+		}
+	}
+	limit := -1
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid limit %q (want a positive integer)", raw))
+			return
+		}
+		limit = n
+	}
+
 	s.mu.Lock()
 	type row struct {
 		seq int
@@ -183,13 +349,20 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	}
 	rows := make([]row, 0, len(s.runs))
 	for _, run := range s.runs {
+		if status != "" && run.Status != status {
+			continue
+		}
 		rows = append(rows, row{run.seq, summary{
 			ID: run.ID, Status: run.Status, Scenario: run.Scenario,
-			Error: run.Error, Created: run.Created,
+			Spec: run.Spec, Error: run.Error, Created: run.Created,
 		}})
 	}
 	s.mu.Unlock()
 	sort.Slice(rows, func(i, j int) bool { return rows[i].seq < rows[j].seq })
+	if limit >= 0 && len(rows) > limit {
+		// Newest last: the tail of the ordered list is the most recent.
+		rows = rows[len(rows)-limit:]
+	}
 	out := make([]summary, len(rows))
 	for i, r := range rows {
 		out[i] = r.s
@@ -206,42 +379,199 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, run)
 }
 
-// handleIntervals streams the per-interval stats of a finished cluster
-// run as newline-delimited JSON, flushing after every interval so a
-// client can tail long runs.
+// handleCancel aborts a queued or running run. It returns promptly: the
+// engine observes the cancellation at the next interval boundary and the
+// run then lands in the cancelled status.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	run, ok := s.runs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	switch run.Status {
+	case StatusQueued, StatusRunning:
+	default:
+		status := run.Status
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, fmt.Sprintf("run is already %s", status))
+		return
+	}
+	cancel := run.cancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	writeJSON(w, http.StatusAccepted, s.snapshot(r.PathValue("id")))
+}
+
+// handleIntervals streams per-interval stats of one cluster cell as
+// newline-delimited JSON, flushing after every interval. It tails a
+// running (or still queued) simulation live: buffered intervals stream
+// immediately and new ones follow as the simulation produces them, until
+// the run reaches a terminal status. ?cell= selects a sweep cell by its
+// expansion index (default 0).
 func (s *Server) handleIntervals(w http.ResponseWriter, r *http.Request) {
 	run := s.snapshot(r.PathValue("id"))
 	if run == nil {
 		httpError(w, http.StatusNotFound, "no such run")
 		return
 	}
-	if run.Status != StatusDone {
-		httpError(w, http.StatusConflict, fmt.Sprintf("run is %s, intervals are available once it is done", run.Status))
-		return
-	}
-	if run.Result == nil || run.Result.Cluster == nil {
+	if run.tail == nil {
 		httpError(w, http.StatusConflict, "run has no per-interval stats (not a cluster scenario)")
 		return
 	}
+	cell := 0
+	if raw := r.URL.Query().Get("cell"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid cell %q", raw))
+			return
+		}
+		cell = n
+	}
+	if cell >= run.tail.cellCount() {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no such cell %d (run has %d)", cell, run.tail.cellCount()))
+		return
+	}
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	for _, st := range run.Result.Cluster.Stats {
-		if err := enc.Encode(st); err != nil {
+	emit := func(items []cluster.IntervalStats) bool {
+		for _, st := range items {
+			if err := enc.Encode(st); err != nil {
+				return false
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return true
+	}
+	sent := 0
+	for {
+		items, done, released, wake := run.tail.after(cell, sent)
+		if released {
+			// The run completed and the live buffers were dropped;
+			// stream the remainder from the recorded result.
+			if stats := s.snapshot(run.ID).cellStats(cell); sent < len(stats) {
+				emit(stats[sent:])
+			}
 			return
 		}
-		if flusher != nil {
-			flusher.Flush()
+		if !emit(items) {
+			return
+		}
+		sent += len(items)
+		if len(items) > 0 {
+			continue // re-check before blocking: more may have arrived
+		}
+		if done {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
 		}
 	}
 }
 
-// handleMetrics writes the engine and service counters in the plain
-// expfmt-style `name value` form scrapers expect.
+// cellStats returns the recorded per-interval stats of one cluster cell
+// of a finished run (nil when absent).
+func (run *Run) cellStats(cell int) []cluster.IntervalStats {
+	switch {
+	case run == nil:
+		return nil
+	case run.Result != nil && run.Result.Cluster != nil && cell == 0:
+		return run.Result.Cluster.Stats
+	case run.Sweep != nil && cell < len(run.Sweep.Cells) && run.Sweep.Cells[cell].Cluster != nil:
+		return run.Sweep.Cells[cell].Cluster.Stats
+	}
+	return nil
+}
+
+// tail buffers the per-interval statistics of a run's cluster cells so
+// clients can stream them while the simulation is still running. Once
+// the run completes successfully the buffers are released — the same
+// data lives in the recorded result, and the service keeps runs for its
+// whole lifetime.
+type tail struct {
+	n int // cell count, stable after construction
+
+	mu       sync.Mutex
+	cells    [][]cluster.IntervalStats
+	done     bool
+	released bool
+	wake     chan struct{} // closed and replaced on every append/finish
+}
+
+func newTail(cells int) *tail {
+	return &tail{n: cells, cells: make([][]cluster.IntervalStats, cells), wake: make(chan struct{})}
+}
+
+func (t *tail) cellCount() int { return t.n }
+
+// observe appends one interval and wakes blocked readers. It is called
+// from engine worker goroutines.
+func (t *tail) observe(cell int, st cluster.IntervalStats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cell < 0 || cell >= len(t.cells) || t.done {
+		return
+	}
+	t.cells[cell] = append(t.cells[cell], st)
+	close(t.wake)
+	t.wake = make(chan struct{})
+}
+
+// finish marks the run terminal and wakes blocked readers; release
+// additionally drops the interval buffers (the caller guarantees the
+// run's recorded result now holds them).
+func (t *tail) finish(release bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done = true
+	if release {
+		t.released = true
+		t.cells = nil
+	}
+	close(t.wake)
+	t.wake = make(chan struct{})
+}
+
+// after returns the cell's intervals past from, the terminal/released
+// flags, and a channel that is closed on the next append/finish. When
+// released is true the buffers are gone and the caller must read the
+// run's recorded result instead.
+func (t *tail) after(cell, from int) (items []cluster.IntervalStats, done, released bool, wake <-chan struct{}) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.released {
+		return nil, true, true, t.wake
+	}
+	items = t.cells[cell]
+	if from > len(items) {
+		from = len(items)
+	}
+	return items[from:], t.done, false, t.wake
+}
+
+// metricDef describes one exported metric.
+type metricDef struct {
+	name, help, kind string
+	value            string
+}
+
+// handleMetrics writes the engine and service counters in the Prometheus
+// text exposition format, including the # HELP and # TYPE comment lines
+// real scrapers require.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	st := s.pool.Stats()
 	s.mu.Lock()
-	var queued, running, done, failed int
+	var queued, running, done, failed, cancelled int
 	for _, run := range s.runs {
 		switch run.Status {
 		case StatusQueued:
@@ -252,25 +582,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			done++
 		case StatusFailed:
 			failed++
+		case StatusCancelled:
+			cancelled++
 		}
 	}
 	s.mu.Unlock()
 
+	metrics := []metricDef{
+		{"ealb_runs_started_total", "Scenario/sweep runs started on the engine.", "counter", fmt.Sprintf("%d", st.RunsStarted)},
+		{"ealb_runs_completed_total", "Scenario/sweep runs completed successfully.", "counter", fmt.Sprintf("%d", st.RunsCompleted)},
+		{"ealb_runs_failed_total", "Scenario/sweep runs that failed or were cancelled.", "counter", fmt.Sprintf("%d", st.RunsFailed)},
+		{"ealb_service_runs_queued", "Service runs waiting to start.", "gauge", fmt.Sprintf("%d", queued)},
+		{"ealb_service_runs_running", "Service runs currently executing.", "gauge", fmt.Sprintf("%d", running)},
+		{"ealb_service_runs_done", "Service runs finished successfully.", "gauge", fmt.Sprintf("%d", done)},
+		{"ealb_service_runs_failed", "Service runs finished with an error.", "gauge", fmt.Sprintf("%d", failed)},
+		{"ealb_service_runs_cancelled", "Service runs cancelled before completion.", "gauge", fmt.Sprintf("%d", cancelled)},
+		{"ealb_engine_workers", "Engine worker pool size.", "gauge", fmt.Sprintf("%d", st.Workers)},
+		{"ealb_engine_jobs_submitted_total", "Simulation jobs submitted to the pool.", "counter", fmt.Sprintf("%d", st.JobsSubmitted)},
+		{"ealb_engine_jobs_completed_total", "Simulation jobs completed by the pool.", "counter", fmt.Sprintf("%d", st.JobsCompleted)},
+		{"ealb_engine_jobs_failed_total", "Simulation jobs that failed (including cancellations).", "counter", fmt.Sprintf("%d", st.JobsFailed)},
+		{"ealb_engine_queue_depth", "Jobs submitted but not yet started.", "gauge", fmt.Sprintf("%d", st.QueueDepth)},
+		{"ealb_simulated_joules_total", "Total energy simulated by completed jobs, in Joules.", "counter", fmt.Sprintf("%.6g", st.SimulatedJoules)},
+		{"ealb_simulated_joules_saved_total", "Simulated savings versus always-on baselines, in Joules.", "counter", fmt.Sprintf("%.6g", st.JoulesSaved)},
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "ealb_runs_started_total %d\n", st.RunsStarted)
-	fmt.Fprintf(w, "ealb_runs_completed_total %d\n", st.RunsCompleted)
-	fmt.Fprintf(w, "ealb_runs_failed_total %d\n", st.RunsFailed)
-	fmt.Fprintf(w, "ealb_service_runs_queued %d\n", queued)
-	fmt.Fprintf(w, "ealb_service_runs_running %d\n", running)
-	fmt.Fprintf(w, "ealb_service_runs_done %d\n", done)
-	fmt.Fprintf(w, "ealb_service_runs_failed %d\n", failed)
-	fmt.Fprintf(w, "ealb_engine_workers %d\n", st.Workers)
-	fmt.Fprintf(w, "ealb_engine_jobs_submitted_total %d\n", st.JobsSubmitted)
-	fmt.Fprintf(w, "ealb_engine_jobs_completed_total %d\n", st.JobsCompleted)
-	fmt.Fprintf(w, "ealb_engine_jobs_failed_total %d\n", st.JobsFailed)
-	fmt.Fprintf(w, "ealb_engine_queue_depth %d\n", st.QueueDepth)
-	fmt.Fprintf(w, "ealb_simulated_joules_total %.6g\n", st.SimulatedJoules)
-	fmt.Fprintf(w, "ealb_simulated_joules_saved_total %.6g\n", st.JoulesSaved)
+	for _, m := range metrics {
+		fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind)
+		fmt.Fprintf(w, "%s %s\n", m.name, m.value)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
