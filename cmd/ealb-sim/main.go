@@ -5,6 +5,7 @@
 //
 //	ealb-sim -size 1000 -load high -intervals 40 -seed 42
 //	ealb-sim -size 100 -load low -csv
+//	ealb-sim -size 10000 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -13,20 +14,62 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 
 	"ealb"
 )
 
 func main() {
+	// All post-flag work lives in run so error paths (including a Ctrl-C
+	// abandon) unwind through the deferred profile flushes — os.Exit here
+	// would leave a truncated CPU profile.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ealb-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		size      = flag.Int("size", 1000, "cluster size (number of servers)")
-		load      = flag.String("load", "low", "initial load band: low (20-40%) or high (60-80%)")
-		intervals = flag.Int("intervals", 40, "reallocation intervals to simulate")
-		seed      = flag.Uint64("seed", 2014, "simulation seed")
-		sleep     = flag.String("sleep", "auto", "sleep policy: auto, c3, c6, never")
-		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
+		size       = flag.Int("size", 1000, "cluster size (number of servers)")
+		load       = flag.String("load", "low", "initial load band: low (20-40%) or high (60-80%)")
+		intervals  = flag.Int("intervals", 40, "reallocation intervals to simulate")
+		seed       = flag.Uint64("seed", 2014, "simulation seed")
+		sleep      = flag.String("sleep", "auto", "sleep policy: auto, c3, c6, never")
+		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	// Profiling hooks: the single-cluster CLI is the convenient harness
+	// for capturing hot-path profiles at any size without test scaffolding
+	// (`ealb-sim -size 10000 -cpuprofile cpu.out`, then `go tool pprof`).
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // flush accurate allocation stats before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ealb-sim:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	// Ctrl-C abandons the simulation at its next interval/slot.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -39,8 +82,7 @@ func main() {
 	case "high":
 		band = ealb.HighLoad()
 	default:
-		fmt.Fprintf(os.Stderr, "ealb-sim: unknown load band %q (want low or high)\n", *load)
-		os.Exit(2)
+		return fmt.Errorf("unknown load band %q (want low or high)", *load)
 	}
 
 	cfg := ealb.DefaultClusterConfig(*size, band, *seed)
@@ -54,19 +96,16 @@ func main() {
 	case "never":
 		cfg.Sleep = ealb.SleepNever
 	default:
-		fmt.Fprintf(os.Stderr, "ealb-sim: unknown sleep policy %q\n", *sleep)
-		os.Exit(2)
+		return fmt.Errorf("unknown sleep policy %q", *sleep)
 	}
 
 	c, err := ealb.NewCluster(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ealb-sim:", err)
-		os.Exit(1)
+		return err
 	}
 	stats, err := c.RunIntervals(ctx, *intervals)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ealb-sim:", err)
-		os.Exit(1)
+		return err
 	}
 
 	if *csv {
@@ -92,4 +131,5 @@ func main() {
 		"\ntotal energy: %v  migrations: %d  wakes: %d  sleeping at end: %d  mean ratio: %.4f (std %.4f)\n",
 		c.TotalEnergy(), c.Migrations(), c.Wakes(), c.SleepingCount(),
 		c.Ledger().MeanRatio(), c.Ledger().StdDevRatio())
+	return nil
 }

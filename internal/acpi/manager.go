@@ -41,6 +41,23 @@ func NewManager(peak units.Watts, specs map[CState]Spec) (*Manager, error) {
 	return &Manager{specs: specs, peak: peak, state: C0}, nil
 }
 
+// Reset returns the manager to its initial state — C0, no transition in
+// flight, no accumulated energy or transition counts — with a new peak
+// power, reusing the spec table. It is the arena path of server reuse: a
+// Reset manager behaves exactly like one freshly built by NewManager.
+func (m *Manager) Reset(peak units.Watts) error {
+	if peak <= 0 {
+		return fmt.Errorf("acpi: non-positive peak power %v", peak)
+	}
+	m.peak = peak
+	m.state = C0
+	m.busyUntil = 0
+	m.transitionEnergy = 0
+	m.wakeCount = 0
+	m.sleepCount = 0
+	return nil
+}
+
 // State returns the current sleep state. During a transition this is
 // already the target state; use Busy to check transition progress.
 func (m *Manager) State() CState { return m.state }

@@ -1,0 +1,44 @@
+package acpi
+
+import "testing"
+
+// TestManagerReset: Reset must return the manager to its initial state
+// with a new peak, so a recycled server's ACPI history starts clean.
+func TestManagerReset(t *testing.T) {
+	m, err := NewManager(200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Sleep(C3, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wake(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.TransitionEnergy() == 0 || m.WakeCount() != 1 {
+		t.Fatal("setup: expected transition history")
+	}
+
+	if err := m.Reset(300); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != C0 || m.Busy(0) || m.TransitionEnergy() != 0 ||
+		m.WakeCount() != 0 || m.SleepCount() != 0 {
+		t.Errorf("Reset left history: state=%v busy=%v energy=%v wakes=%d sleeps=%d",
+			m.State(), m.Busy(0), m.TransitionEnergy(), m.WakeCount(), m.SleepCount())
+	}
+	// The new peak must drive sleep power.
+	if _, err := m.Sleep(C6, 0); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := m.Spec(C6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.SleepPower(), spec.SleepPower(300); got != want {
+		t.Errorf("sleep power %v, want %v (new peak not applied)", got, want)
+	}
+	if err := m.Reset(0); err == nil {
+		t.Error("Reset accepted a non-positive peak")
+	}
+}

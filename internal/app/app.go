@@ -49,13 +49,26 @@ type App struct {
 
 // New validates and creates an application.
 func New(id ID, demand, lambda units.Fraction) (*App, error) {
+	a := new(App)
+	if err := Init(a, id, demand, lambda); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Init validates and initializes an App value in place — the
+// arena-friendly variant of New for simulations that recycle App storage
+// across rebuilds. Every field is overwritten; the initialized value is
+// identical to one returned by New.
+func Init(a *App, id ID, demand, lambda units.Fraction) error {
 	if !demand.Valid() {
-		return nil, fmt.Errorf("app %d: demand %v outside [0,1]", id, demand)
+		return fmt.Errorf("app %d: demand %v outside [0,1]", id, demand)
 	}
 	if !lambda.Valid() || lambda == 0 {
-		return nil, fmt.Errorf("app %d: lambda %v outside (0,1]", id, lambda)
+		return fmt.Errorf("app %d: lambda %v outside (0,1]", id, lambda)
 	}
-	return &App{ID: id, Demand: demand, Lambda: lambda, MinDemand: 0.01, Reserved: demand, Base: demand, Reversion: 0.15}, nil
+	*a = App{ID: id, Demand: demand, Lambda: lambda, MinDemand: 0.01, Reserved: demand, Base: demand, Reversion: 0.15}
+	return nil
 }
 
 // Provision sets the reservation to the current demand plus slack,
@@ -205,12 +218,23 @@ func NewGenerator(rng *xrand.Rand, lambdaMin, lambdaMax float64) (*Generator, er
 
 // Next creates an application with the given initial demand.
 func (g *Generator) Next(demand units.Fraction) (*App, error) {
-	a, err := New(g.nextID, demand, units.Fraction(g.rng.Uniform(g.LambdaMin, g.LambdaMax)))
-	if err != nil {
+	a := new(App)
+	if err := g.NextInto(a, demand); err != nil {
 		return nil, err
 	}
-	g.nextID++
 	return a, nil
+}
+
+// NextInto initializes a (possibly recycled) App value exactly as Next
+// would — same λ draw from the generator's stream, same ID assignment —
+// without allocating. The generator state advances identically, so a
+// simulation rebuilt over an app arena replays the same sequence.
+func (g *Generator) NextInto(a *App, demand units.Fraction) error {
+	if err := Init(a, g.nextID, demand, units.Fraction(g.rng.Uniform(g.LambdaMin, g.LambdaMax))); err != nil {
+		return err
+	}
+	g.nextID++
+	return nil
 }
 
 // NextID returns the ID the next created application will receive, and

@@ -1,0 +1,46 @@
+package cluster
+
+import "testing"
+
+// TestArenaPointerStability: chunked growth must never move slots that
+// were already handed out — the cluster holds app/VM pointers across the
+// whole build.
+func TestArenaPointerStability(t *testing.T) {
+	var a arena[int]
+	ptrs := make([]*int, 0, 3*arenaChunk)
+	for i := 0; i < 3*arenaChunk; i++ {
+		p := a.alloc()
+		*p = i
+		ptrs = append(ptrs, p)
+	}
+	for i, p := range ptrs {
+		if *p != i {
+			t.Fatalf("slot %d clobbered by growth: got %d", i, *p)
+		}
+	}
+	a.reset()
+	// After reset the same storage is handed out again, in order.
+	for i := 0; i < 3*arenaChunk; i++ {
+		if p := a.alloc(); p != ptrs[i] {
+			t.Fatalf("slot %d not recycled after reset", i)
+		}
+	}
+}
+
+// TestArenaResetAllocFree: a warm arena must serve a full reset/alloc
+// cycle without allocating.
+func TestArenaResetAllocFree(t *testing.T) {
+	var a arena[int]
+	for i := 0; i < 2*arenaChunk; i++ {
+		a.alloc()
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		a.reset()
+		for i := 0; i < 2*arenaChunk; i++ {
+			a.alloc()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm arena allocated %.1f times per cycle", allocs)
+	}
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"ealb/internal/workload"
+)
+
+// BenchmarkClusterIntervals measures the steady-state cost of one
+// reallocation interval at the paper's three cluster scales — the
+// simulator's hot path. Construction happens outside the timer; the
+// allocs/op column is the headline number of the leader-state refactor
+// (see EXPERIMENTS.md for the before/after trajectory).
+func BenchmarkClusterIntervals(b *testing.B) {
+	for _, size := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			c, err := New(DefaultConfig(size, workload.LowLoad(), 1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm up past the initial rebalancing storm so the measured
+			// intervals reflect steady state, not the one-off start-up
+			// consolidation wave.
+			if _, err := c.RunIntervals(context.Background(), 5); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.RunIntervals(context.Background(), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterConstruction measures building and populating clusters
+// from scratch — the per-cell cost a sweep pays without the engine's
+// arena reuse.
+func BenchmarkClusterConstruction(b *testing.B) {
+	for _, size := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			cfg := DefaultConfig(size, workload.LowLoad(), 1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := New(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterRebuild measures re-seeding a cluster in place — the
+// per-cell cost a sweep pays with arena reuse. Compare against
+// BenchmarkClusterConstruction at the same size.
+func BenchmarkClusterRebuild(b *testing.B) {
+	for _, size := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			cfg := DefaultConfig(size, workload.LowLoad(), 1)
+			c, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Alternate seeds so every rebuild re-derives all streams
+				// rather than hitting any same-seed fast path.
+				cfg.Seed = uint64(1 + i%2)
+				if err := c.Rebuild(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

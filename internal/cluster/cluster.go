@@ -22,6 +22,14 @@
 // decision; growth that must move to another server is a high-cost
 // in-cluster decision. The per-interval ratio of the two is the statistic
 // of Figure 3 and Table 2.
+//
+// Architecturally the simulator is a persistent leader state over
+// reusable storage: the leader's per-interval decision pass is a pure
+// plan over dense server-ID-indexed state (leader.go) applied in a
+// separate effectful step (protocol.go), and a Cluster can be Rebuilt in
+// place for a new configuration, recycling its servers, apps, VMs, and
+// kernel allocations — the arena path sweeps use to avoid reconstructing
+// a 10^4-server object graph per cell.
 package cluster
 
 import (
@@ -223,7 +231,10 @@ func (c Config) Validate() error {
 	return c.Net.Validate()
 }
 
-// Cluster is one simulated cluster plus its leader state.
+// Cluster is one simulated cluster plus its leader state. Its storage —
+// servers, the network fabric, the event kernel, the app/VM arenas, and
+// every leader-side dense slice — persists across Rebuilds, so a sweep
+// worker reuses one Cluster's allocations for every cell it simulates.
 type Cluster struct {
 	cfg Config
 
@@ -240,12 +251,9 @@ type Cluster struct {
 	// fired (a woken server is only usable once its setup finishes).
 	wakesCompleted int
 
-	// r1Streak counts consecutive intervals each server ended in R1;
-	// r4Streak does the same for R4. The streaks implement the paper's
-	// urgency distinction: suboptimal and low-undesirable conditions are
-	// acted on only when they persist, undesirable-high immediately.
-	r1Streak []int
-	r4Streak []int
+	// leader owns the protocol's persistent streaks and all plan-time
+	// scratch (see leader.go).
+	leader leaderState
 
 	migrationEnergy    units.Joules
 	migrations         int
@@ -253,18 +261,45 @@ type Cluster struct {
 	totalWakes         int
 	nextVMID           vm.ID
 
-	// failed tracks crashed servers (failure-injection extension) and
-	// failures counts injections cumulatively.
-	failed   map[server.ID]bool
-	failures int
+	// failed tracks crashed servers (failure-injection extension),
+	// densely indexed by server ID; failures counts injections
+	// cumulatively.
+	failed      []bool
+	failedCount int
+	failures    int
+
+	// Arenas and scratch buffers reused across Rebuilds and intervals.
+	appArena      arena[app.App]
+	vmArena       arena[vm.VM]
+	hostedScratch []server.Hosted
+	sizeScratch   []units.Fraction
+	appScratch    []*app.App
 }
 
 // New builds and populates a cluster: per-server regime boundaries drawn
 // from the configured ranges, per-server initial loads from the band,
 // decomposed into applications with unique λ, each in its own VM.
 func New(cfg Config) (*Cluster, error) {
-	if err := cfg.Validate(); err != nil {
+	c := &Cluster{}
+	if err := c.Rebuild(cfg); err != nil {
 		return nil, err
+	}
+	return c, nil
+}
+
+// Rebuild re-seeds the cluster in place for cfg, producing a state
+// bit-identical to New(cfg) while reusing the receiver's allocations:
+// servers are Reset rather than reconstructed, applications and VMs come
+// from per-cluster arenas, and the network, ledger, event kernel, and
+// leader state are cleared in place. It is the engine's arena path for
+// sweeps that simulate many cells per worker.
+//
+// Rebuild invalidates everything previously reachable from the cluster —
+// server, application, and VM pointers as well as in-flight statistics —
+// so callers must not retain references across a Rebuild.
+func (c *Cluster) Rebuild(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	root := xrand.New(cfg.Seed)
 	boundsRNG := root.Split()
@@ -272,38 +307,65 @@ func New(cfg Config) (*Cluster, error) {
 	appRNG := root.Split()
 	evolveRNG := root.Split()
 
-	net, err := netsim.New(cfg.Size, cfg.Net)
-	if err != nil {
-		return nil, err
+	if c.net == nil {
+		net, err := netsim.New(cfg.Size, cfg.Net)
+		if err != nil {
+			return err
+		}
+		c.net = net
+	} else if err := c.net.Reset(cfg.Size, cfg.Net); err != nil {
+		return err
 	}
 	gen, err := app.NewGenerator(appRNG.Split(), cfg.Lambda[0], cfg.Lambda[1])
 	if err != nil {
-		return nil, err
+		return err
 	}
 
-	c := &Cluster{
-		cfg:      cfg,
-		net:      net,
-		rng:      evolveRNG,
-		appGen:   gen,
-		ledger:   scaling.NewLedger(),
-		sim:      eventsim.New(),
-		r1Streak: make([]int, cfg.Size),
-		r4Streak: make([]int, cfg.Size),
-		nextVMID: 1,
-		failed:   make(map[server.ID]bool),
+	c.cfg = cfg
+	c.rng = evolveRNG
+	c.appGen = gen
+	if c.ledger == nil {
+		c.ledger = scaling.NewLedger()
+	} else {
+		c.ledger.Reset()
 	}
+	if c.sim == nil {
+		c.sim = eventsim.New()
+	} else {
+		c.sim.Reset()
+	}
+	c.now = 0
+	c.interval = 0
+	c.wakesCompleted = 0
+	c.migrationEnergy = 0
+	c.migrations = 0
+	c.intervalMigrations = 0
+	c.totalWakes = 0
+	c.nextVMID = 1
+	c.failedCount = 0
+	c.failures = 0
+	c.failed = resize(c.failed, cfg.Size)
+	clear(c.failed)
+	c.leader.init(cfg.Size)
+	c.appArena.reset()
+	c.vmArena.reset()
 
 	loads, err := workload.InitialLoads(loadRNG, cfg.Size, cfg.InitialLoad)
 	if err != nil {
-		return nil, err
+		return err
 	}
 
+	if len(c.servers) > cfg.Size {
+		for i := cfg.Size; i < len(c.servers); i++ {
+			c.servers[i] = nil
+		}
+		c.servers = c.servers[:cfg.Size]
+	}
 	msgE := units.Joules(float64(netsim.ControlMsgSize) * float64(cfg.Net.EnergyPerByte))
 	for i := 0; i < cfg.Size; i++ {
 		bounds, err := cfg.Ranges.Random(boundsRNG)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		peak := cfg.PeakPower
 		if cfg.PeakPowerSpread > 0 {
@@ -313,22 +375,32 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		pm, err := power.NewLinear(units.Watts(float64(peak)*cfg.IdleFraction), peak)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s, err := server.New(server.Config{
+		scfg := server.Config{
 			ID:                 server.ID(i),
 			Boundaries:         bounds,
 			Power:              pm,
 			Migration:          cfg.Migration,
 			ControlMsgEnergy:   msgE,
 			VerticalCostEnergy: 0.5,
-		})
-		if err != nil {
-			return nil, err
 		}
-		apps, err := workload.PopulateApps(appRNG, gen, loads[i], cfg.AppSize[0], cfg.AppSize[1])
+		var s *server.Server
+		if i < len(c.servers) {
+			if err := c.servers[i].Reset(scfg); err != nil {
+				return err
+			}
+			s = c.servers[i]
+		} else {
+			s, err = server.New(scfg)
+			if err != nil {
+				return err
+			}
+			c.servers = append(c.servers, s)
+		}
+		apps, err := c.populateApps(appRNG, loads[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Provision each VM with a share of the server's free capacity as
 		// reservation slack: generous on lightly packed servers, tight on
@@ -349,27 +421,48 @@ func New(cfg Config) (*Cluster, error) {
 			a.Provision(units.Fraction(slack))
 			h, err := c.newHosted(a, appRNG)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if err := s.Place(h, 0); err != nil {
-				return nil, err
+				return err
 			}
 		}
-		c.servers = append(c.servers, s)
 	}
-	return c, nil
+	return nil
 }
 
-// newHosted wraps an application in a freshly provisioned running VM.
+// populateApps materializes one server's initial applications from the
+// app arena so that their demands sum approximately to the target load.
+// RNG draw order matches workload.PopulateApps exactly; the returned
+// slice is scratch, valid until the next call.
+func (c *Cluster) populateApps(rng *xrand.Rand, target units.Fraction) ([]*app.App, error) {
+	var err error
+	c.sizeScratch, err = workload.AppendAppSizes(c.sizeScratch[:0], rng, target, c.cfg.AppSize[0], c.cfg.AppSize[1])
+	if err != nil {
+		return nil, err
+	}
+	c.appScratch = c.appScratch[:0]
+	for _, size := range c.sizeScratch {
+		a := c.appArena.alloc()
+		if err := c.appGen.NextInto(a, size); err != nil {
+			return nil, err
+		}
+		c.appScratch = append(c.appScratch, a)
+	}
+	return c.appScratch, nil
+}
+
+// newHosted wraps an application in a freshly provisioned running VM
+// drawn from the VM arena.
 func (c *Cluster) newHosted(a *app.App, rng *xrand.Rand) (server.Hosted, error) {
 	mem := units.Bytes(1+rng.Intn(3)) * units.GB
-	v, err := vm.New(c.nextVMID, vm.Config{
+	v := c.vmArena.alloc()
+	if err := vm.Init(v, c.nextVMID, vm.Config{
 		Memory:    mem,
 		ImageSize: 2 * mem,
 		CPUShare:  a.Demand,
 		DirtyRate: units.Bytes(10+rng.Intn(40)) * units.MB,
-	})
-	if err != nil {
+	}); err != nil {
 		return server.Hosted{}, err
 	}
 	c.nextVMID++

@@ -11,6 +11,8 @@ import (
 // original goals; this extension lets experiments crash servers and watch
 // the leader re-place the lost workload. A failed server draws no power,
 // takes no part in the protocol, and rejoins empty (in C0) after Repair.
+// Failure state is a dense server-ID-indexed slice owned by the cluster,
+// so the per-interval active checks stay pointer-chase- and hash-free.
 
 // FailServer crashes a server at the current simulation time. Its hosted
 // applications are re-placed on surviving servers by the leader — each
@@ -34,6 +36,7 @@ func (c *Cluster) FailServer(id server.ID) (replaced, lost int, err error) {
 		}
 	}
 	c.failed[id] = true
+	c.failedCount++
 	c.failures++
 
 	// Orphaned workload: the leader re-places what it can.
@@ -75,15 +78,18 @@ func (c *Cluster) Repair(id server.ID) error {
 	if err := s.SkipTo(c.now); err != nil {
 		return err
 	}
-	delete(c.failed, id)
+	c.failed[id] = false
+	c.failedCount--
 	return nil
 }
 
 // Failed reports whether a server is currently failed.
-func (c *Cluster) Failed(id server.ID) bool { return c.failed[id] }
+func (c *Cluster) Failed(id server.ID) bool {
+	return int(id) >= 0 && int(id) < len(c.failed) && c.failed[id]
+}
 
 // FailedCount returns the number of currently failed servers.
-func (c *Cluster) FailedCount() int { return len(c.failed) }
+func (c *Cluster) FailedCount() int { return c.failedCount }
 
 // Failures returns the cumulative number of injected failures.
 func (c *Cluster) Failures() int { return c.failures }

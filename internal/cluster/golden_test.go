@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"ealb/internal/workload"
+)
+
+// The golden digests pin the exact per-interval output of the reference
+// scenarios: SHA-256 over the JSON encoding of the IntervalStats stream.
+// They were captured from the pre-refactor protocol implementation (PR 2,
+// commit f10c39b) and must never change — the leader-state refactor, the
+// plan/apply split, and the arena rebuild path are all required to be
+// byte-identical to the original per-interval mutation code. A digest
+// mismatch means the RNG call sequence or a float summation order moved,
+// which silently invalidates every experiment in EXPERIMENTS.md.
+//
+// After an intentional simulation change (which must be called out as
+// such in the PR), re-pin by copying the "got" digest from the failure
+// output of:
+//
+//	go test ./internal/cluster -run 'TestGoldenIntervalDigests/<scenario>' -v
+var goldenDigests = []struct {
+	name      string
+	size      int
+	band      workload.Band
+	seed      uint64
+	intervals int
+	digest    string
+}{
+	{"size=100/low/seed=1", 100, workload.LowLoad(), 1, 40,
+		"d832b8a0bb52af190651dde4d25a20e2897ce749276dfb7125a5d9a12813b309"},
+	{"size=100/high/seed=2014", 100, workload.HighLoad(), 2014, 40,
+		"efc40dbd8fdbfa2aca0e70a244f980a3a1e687b41aebc39d192346d68fe43ff0"},
+	{"size=1000/low/seed=1", 1000, workload.LowLoad(), 1, 25,
+		"c731b5195938cf0008422134f2893d651c45efc2f78caba72fbd4f5fd36ff65a"},
+	{"size=1000/high/seed=2014", 1000, workload.HighLoad(), 2014, 25,
+		"467d9533fdb79381ca3eae7733f3741a37466201a53ef9714be3b8b3ace9952d"},
+}
+
+// intervalDigest runs the scenario and hashes the JSON-encoded stream.
+func intervalDigest(t *testing.T, size int, band workload.Band, seed uint64, intervals int) string {
+	t.Helper()
+	c, err := New(DefaultConfig(size, band, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.RunIntervals(context.Background(), intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+func TestGoldenIntervalDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden digests cover size-1000 runs; skipped in -short mode")
+	}
+	for _, g := range goldenDigests {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			got := intervalDigest(t, g.size, g.band, g.seed, g.intervals)
+			if got != g.digest {
+				t.Errorf("digest drifted from the pre-refactor pin:\n got  %s\n want %s", got, g.digest)
+			}
+		})
+	}
+}

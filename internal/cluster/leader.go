@@ -1,0 +1,617 @@
+package cluster
+
+// The leader's end-of-interval protocol is split into a pure *plan* step
+// and an effectful *apply* step (protocol.go).
+//
+// planBalance computes every decision of §4's reallocation pass — regime
+// reports, overload relief, wake-ups, consolidation-to-sleep — as an
+// ordered action list without mutating any server, VM, ledger, or network
+// state. Decisions that depend on the loads earlier decisions will have
+// produced (an acceptor filling up, a relief donor draining) read them
+// through a projected-load view: a dense, server-ID-indexed overlay over
+// the live cluster that tracks the planned placement changes.
+//
+// Two properties are load-bearing and guarded by the golden digest test:
+//
+//  1. The RNG call sequence is identical to the historical
+//     mutate-as-you-go implementation: every candidate sample happens at
+//     the same point of the decision sequence, so a seed reproduces the
+//     exact experiment streams of earlier releases.
+//  2. Float arithmetic is order-identical. A server's projected load is
+//     maintained exactly as server.RawDemand would compute it after the
+//     move — ordered summation over the working app list on removal,
+//     running addition on append — so plan-time comparisons see
+//     bit-identical values to the ones apply-time state produces.
+//
+// All plan state lives in leaderState, owned by the Cluster and reused
+// across intervals: dense slices indexed by server ID replace the
+// per-interval map and slice allocations of the historical
+// implementation, which is what makes the steady-state interval loop
+// allocation-free.
+
+import (
+	"sort"
+
+	"ealb/internal/acpi"
+	"ealb/internal/app"
+	"ealb/internal/regime"
+	"ealb/internal/server"
+	"ealb/internal/units"
+)
+
+// actKind discriminates the entries of a balance plan.
+type actKind uint8
+
+const (
+	// actReport is one awake server's regime report to the leader.
+	actReport actKind = iota
+	// actMove migrates one application from src to dst.
+	actMove
+	// actWake wakes the sleeping server src.
+	actWake
+	// actSleep parks the (by then empty) server src in target.
+	actSleep
+)
+
+// action is one step of a balance plan. The zero-width encoding (IDs, not
+// pointers) keeps the plan a pure description: applying it resolves the
+// IDs against the cluster, and tests can assert on it structurally.
+type action struct {
+	kind   actKind
+	src    server.ID
+	dst    server.ID // move target; unused otherwise
+	app    app.ID    // moved application; unused otherwise
+	target acpi.CState
+}
+
+// balancePlan is the leader's decision list for one reallocation pass, in
+// execution order: reports first, then per relief donor its migrations
+// and (if still undesirable) a wake-up, then per consolidation donor its
+// evacuation migrations followed by its sleep transition. applyBalance
+// replays the list linearly; keeping the historical interleaving means
+// energy accumulators see charges in the historical order.
+type balancePlan struct {
+	actions []action
+	woken   int // wake-ups in the plan
+}
+
+// leaderState is the Cluster's persistent protocol state: the regime
+// streak counters that outlive an interval, plus every scratch buffer and
+// dense projection the plan step needs, reused across intervals so the
+// steady-state hot path does not allocate.
+type leaderState struct {
+	// r1Streak counts consecutive intervals each server ended in R1;
+	// r4Streak does the same for R4. The streaks implement the paper's
+	// urgency distinction: suboptimal and low-undesirable conditions are
+	// acted on only when they persist, undesirable-high immediately.
+	r1Streak []int
+	r4Streak []int
+
+	// Plan scratch: awake roster, relief/consolidation donor and acceptor
+	// lists, and the plan under construction.
+	awake     []*server.Server
+	donors    []*server.Server
+	acceptors []*server.Server
+	plan      balancePlan
+
+	// Projected-load view. A server is "touched" once a planned move
+	// involves it; from then on its working app list and raw demand sum
+	// live here. touched lists the IDs to reset in O(touched).
+	viewTouched []bool
+	viewApps    [][]server.Hosted
+	viewRaw     []units.Fraction
+	touched     []server.ID
+
+	// Planned wake/sleep markers (dense), with their reset list.
+	plannedSleep []bool
+	plannedWake  []bool
+	planned      []server.ID
+
+	// Per-donor evacuation scratch: the all-or-nothing projected overlay
+	// and the move list of the attempt in progress.
+	projected   []units.Fraction
+	projTouched []server.ID
+	evacMoves   []evacMove
+
+	// appsScratch holds one donor's demand-sorted app list at a time.
+	appsScratch []server.Hosted
+
+	// Persistent sorter headers so sort.Stable gets a pointer to existing
+	// storage instead of escaping a fresh value per interval.
+	donorSort    reliefDonorSorter
+	acceptorSort acceptorSorter
+	consolSort   consolDonorSorter
+}
+
+// evacMove is one step of an evacuation attempt before it commits.
+type evacMove struct {
+	dst *server.Server
+	h   server.Hosted
+}
+
+// resize returns s with length n, preserving capacity where possible.
+// Contents are unspecified; callers zero or truncate as needed.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]T, n-cap(s))...)
+	}
+	return s[:n]
+}
+
+// init sizes the dense state for a cluster of n servers and clears all of
+// it — the Rebuild path. Scratch capacity is retained.
+func (ls *leaderState) init(n int) {
+	ls.r1Streak = resize(ls.r1Streak, n)
+	ls.r4Streak = resize(ls.r4Streak, n)
+	ls.viewTouched = resize(ls.viewTouched, n)
+	ls.viewRaw = resize(ls.viewRaw, n)
+	ls.plannedSleep = resize(ls.plannedSleep, n)
+	ls.plannedWake = resize(ls.plannedWake, n)
+	ls.projected = resize(ls.projected, n)
+	clear(ls.r1Streak)
+	clear(ls.r4Streak)
+	clear(ls.viewTouched)
+	clear(ls.viewRaw)
+	clear(ls.plannedSleep)
+	clear(ls.plannedWake)
+	clear(ls.projected)
+	ls.viewApps = resize(ls.viewApps, n)
+	for i := range ls.viewApps {
+		ls.viewApps[i] = ls.viewApps[i][:0]
+	}
+	ls.touched = ls.touched[:0]
+	ls.planned = ls.planned[:0]
+	ls.projTouched = ls.projTouched[:0]
+	ls.awake = ls.awake[:0]
+	ls.donors = ls.donors[:0]
+	ls.acceptors = ls.acceptors[:0]
+	ls.plan.actions = ls.plan.actions[:0]
+	ls.plan.woken = 0
+	ls.evacMoves = ls.evacMoves[:0]
+	ls.appsScratch = ls.appsScratch[:0]
+}
+
+// beginPlan clears the previous interval's view in O(touched).
+func (ls *leaderState) beginPlan() {
+	for _, id := range ls.touched {
+		ls.viewTouched[id] = false
+		ls.viewApps[id] = ls.viewApps[id][:0]
+	}
+	ls.touched = ls.touched[:0]
+	for _, id := range ls.planned {
+		ls.plannedSleep[id] = false
+		ls.plannedWake[id] = false
+	}
+	ls.planned = ls.planned[:0]
+	ls.plan.actions = ls.plan.actions[:0]
+	ls.plan.woken = 0
+}
+
+// rawSum computes the demand sum the way server.RawDemand does: ordered,
+// left to right, so the view's floats are bit-identical to the server's.
+func rawSum(hs []server.Hosted) units.Fraction {
+	var sum units.Fraction
+	for _, h := range hs {
+		sum += h.App.Demand
+	}
+	return sum
+}
+
+// planTouch materializes the working copy of s's hosted list on first
+// contact with the plan.
+func (c *Cluster) planTouch(s *server.Server) {
+	ls := &c.leader
+	id := int(s.ID())
+	if ls.viewTouched[id] {
+		return
+	}
+	ls.viewTouched[id] = true
+	ls.touched = append(ls.touched, s.ID())
+	ls.viewApps[id] = s.AppendHosted(ls.viewApps[id][:0])
+	ls.viewRaw[id] = rawSum(ls.viewApps[id])
+}
+
+// planLoad returns s's load as the plan's moves so far would leave it.
+func (c *Cluster) planLoad(s *server.Server) units.Fraction {
+	if id := int(s.ID()); c.leader.viewTouched[id] {
+		return c.leader.viewRaw[id].Clamp()
+	}
+	return s.Load()
+}
+
+// planRegime classifies s's projected load.
+func (c *Cluster) planRegime(s *server.Server) regime.Region {
+	return s.Boundaries().Classify(c.planLoad(s))
+}
+
+// planExcess returns s's projected load above its optimal region.
+func (c *Cluster) planExcess(s *server.Server) units.Fraction {
+	return s.Boundaries().Excess(c.planLoad(s))
+}
+
+// planFits reports whether dst can take demand under the limit, seen
+// through the projection.
+func (c *Cluster) planFits(dst *server.Server, demand units.Fraction, limit acceptLimit) bool {
+	return c.planLoad(dst)+demand <= limit.bound(dst)
+}
+
+// planActive reports whether a server can take part in further planning:
+// live-active and not already slated for sleep by this plan. (A server
+// slated for wake-up is still Sleeping live, so it stays excluded — just
+// as the historical code's in-flight wake transition excluded it.)
+func (c *Cluster) planActive(s *server.Server) bool {
+	return c.active(s) && !c.leader.plannedSleep[s.ID()]
+}
+
+// planAppsByDemand fills the shared scratch with s's projected app list,
+// demand-sorted the way the shed loop consumes it. Valid until the next
+// call.
+func (c *Cluster) planAppsByDemand(s *server.Server) []server.Hosted {
+	ls := &c.leader
+	if id := int(s.ID()); ls.viewTouched[id] {
+		ls.appsScratch = append(ls.appsScratch[:0], ls.viewApps[id]...)
+	} else {
+		ls.appsScratch = s.AppendHosted(ls.appsScratch[:0])
+	}
+	server.SortByDemand(ls.appsScratch)
+	return ls.appsScratch
+}
+
+// planMove records the migration of h from src to dst and updates the
+// projection: src's working list drops h and its sum is recomputed by
+// ordered summation (floating-point subtraction would drift from what the
+// server computes after the real removal); dst appends h and its sum
+// grows by running addition, exactly matching RawDemand after Place.
+func (c *Cluster) planMove(src, dst *server.Server, h server.Hosted) {
+	c.planTouch(src)
+	c.planTouch(dst)
+	ls := &c.leader
+	si, di := int(src.ID()), int(dst.ID())
+	apps := ls.viewApps[si]
+	for i := range apps {
+		if apps[i].App.ID == h.App.ID {
+			apps = append(apps[:i], apps[i+1:]...)
+			break
+		}
+	}
+	ls.viewApps[si] = apps
+	ls.viewRaw[si] = rawSum(apps)
+	ls.viewApps[di] = append(ls.viewApps[di], h)
+	ls.viewRaw[di] += h.App.Demand
+	ls.plan.actions = append(ls.plan.actions, action{
+		kind: actMove, src: src.ID(), dst: dst.ID(), app: h.App.ID,
+	})
+}
+
+// planClusterLoad is ClusterLoad through the projection: total projected
+// load over total capacity, summed in server order like the live version.
+func (c *Cluster) planClusterLoad() units.Fraction {
+	var sum float64
+	for _, s := range c.servers {
+		sum += float64(c.planLoad(s))
+	}
+	return units.Fraction(sum / float64(len(c.servers)))
+}
+
+// planSleepTarget applies the configured sleep policy to the projected
+// cluster state (§6's 60% rule under SleepAuto).
+func (c *Cluster) planSleepTarget() acpi.CState {
+	switch c.cfg.Sleep {
+	case SleepC3Only:
+		return acpi.C3
+	case SleepC6Only:
+		return acpi.C6
+	default:
+		if c.planClusterLoad() < 0.6 {
+			return acpi.C6
+		}
+		return acpi.C3
+	}
+}
+
+// planFindAcceptor samples a bounded candidate list (the leader's
+// MsgCandidateList) and returns the best-fitting eligible server under
+// the projection: the most loaded one that still fits, concentrating load
+// per the paper's reformulated load balancing goal. Returns nil when no
+// candidate fits.
+func (c *Cluster) planFindAcceptor(demand units.Fraction, exclude *server.Server, limit acceptLimit) *server.Server {
+	var best *server.Server
+	var bestLoad units.Fraction
+	for i := 0; i < candidateSample; i++ {
+		cand := c.servers[c.rng.Intn(len(c.servers))]
+		if cand == exclude || !c.planActive(cand) {
+			continue
+		}
+		if !c.planFits(cand, demand, limit) {
+			continue
+		}
+		if load := c.planLoad(cand); best == nil || load > bestLoad {
+			best, bestLoad = cand, load
+		}
+	}
+	return best
+}
+
+// planBalance computes the leader's full end-of-interval pass (§4) as a
+// plan, mutating nothing but the leader's own scratch state (and the
+// protocol RNG, whose draws belong to the decision sequence). The
+// returned plan is owned by the leaderState and valid until the next
+// planBalance call.
+func (c *Cluster) planBalance() (*balancePlan, error) {
+	ls := &c.leader
+	ls.beginPlan()
+
+	// Step 1: every awake server reports its regime to the leader.
+	ls.awake = ls.awake[:0]
+	for _, s := range c.servers {
+		if !c.active(s) {
+			continue
+		}
+		ls.awake = append(ls.awake, s)
+		ls.plan.actions = append(ls.plan.actions, action{kind: actReport, src: s.ID()})
+	}
+
+	if err := c.planRelief(); err != nil {
+		return nil, err
+	}
+	if c.cfg.Sleep != SleepNever {
+		c.planConsolidation()
+	}
+	return &ls.plan, nil
+}
+
+// planRelief migrates load off R4/R5 servers onto R1/R2 servers — in the
+// plan. R5 servers that find no target cause the leader to wake a
+// sleeping server (§4 step 5).
+func (c *Cluster) planRelief() error {
+	ls := &c.leader
+	ls.donors = ls.donors[:0]
+	ls.acceptors = ls.acceptors[:0]
+	for _, s := range ls.awake {
+		switch {
+		case c.planRegime(s) == regime.R5:
+			// Undesirable-high: immediate attention (§4).
+			ls.donors = append(ls.donors, s)
+		case c.planRegime(s) == regime.R4 && (c.planExcess(s) >= 0.05 || ls.r4Streak[s.ID()] >= 2):
+			// Suboptimal-high "does not require immediate attention"
+			// (§4): act when the deviation is large or has persisted —
+			// the paper notes the time spent in a non-optimal region
+			// matters, not just being there.
+			ls.donors = append(ls.donors, s)
+		case c.planRegime(s).Underloaded():
+			ls.acceptors = append(ls.acceptors, s)
+		}
+	}
+	// Most urgent first: R5 before R4, larger excess first.
+	ls.donorSort = reliefDonorSorter{c: c, s: ls.donors}
+	sort.Stable(&ls.donorSort)
+	// Fullest acceptors first: concentrate load.
+	ls.acceptorSort = acceptorSorter{c: c, s: ls.acceptors}
+	sort.Stable(&ls.acceptorSort)
+
+	// The leader's relief capacity per interval: spreading the initial
+	// rebalancing storm over several intervals rather than resolving it
+	// instantaneously (negotiations take time).
+	reliefBudget := max(2, len(c.servers)/15)
+	totalSheds := 0
+	for _, d := range ls.donors {
+		if totalSheds >= reliefBudget {
+			break
+		}
+		urgent := c.planRegime(d) == regime.R5
+		sheds := 0
+		for c.planRegime(d).Overloaded() && sheds < maxShedsPerDonor && totalSheds < reliefBudget {
+			moved := false
+			for _, h := range c.planAppsByDemand(d) {
+				var dst *server.Server
+				for _, a := range ls.acceptors {
+					if a != d && c.planFits(a, h.App.Demand, acceptToOptHigh) {
+						dst = a
+						break
+					}
+				}
+				if dst == nil && urgent {
+					// R5 requires immediate attention (§4): when no
+					// underloaded partner exists the leader widens the
+					// search to any server with optimal-region headroom.
+					dst = c.planFindAcceptor(h.App.Demand, d, acceptToOptHigh)
+				}
+				if dst == nil {
+					continue
+				}
+				c.planMove(d, dst, h)
+				sheds++
+				totalSheds++
+				moved = true
+				break
+			}
+			if !moved {
+				break
+			}
+		}
+		if urgent && c.planRegime(d) == regime.R5 {
+			// Still undesirable and nothing accepted: wake capacity.
+			ok, err := c.planWake()
+			if err != nil {
+				return err
+			}
+			if ok {
+				ls.plan.woken++
+			}
+		}
+	}
+	return nil
+}
+
+// planWake picks the sleeping server with the shortest wake latency (C3
+// before C6) that the plan has not already claimed, and records the
+// wake-up. It reports whether any server was picked.
+func (c *Cluster) planWake() (bool, error) {
+	ls := &c.leader
+	var pick *server.Server
+	var pickLat units.Seconds
+	for _, s := range c.servers {
+		if !s.Sleeping() || s.CStateBusy(c.now) || c.failed[s.ID()] || ls.plannedWake[s.ID()] {
+			continue
+		}
+		lat, err := s.WakeLatency()
+		if err != nil {
+			return false, err
+		}
+		if pick == nil || lat < pickLat {
+			pick, pickLat = s, lat
+		}
+	}
+	if pick == nil {
+		return false, nil
+	}
+	ls.plannedWake[pick.ID()] = true
+	ls.planned = append(ls.planned, pick.ID())
+	ls.plan.actions = append(ls.plan.actions, action{kind: actWake, src: pick.ID()})
+	return true, nil
+}
+
+// planConsolidation empties persistent R1 servers into other servers and
+// slates them for sleep (§4 step 1's "transfer its own workload ... and
+// then switch itself to sleep"), bounded by the leader's per-interval
+// budget. The sleep state follows the 60% rule (§6) unless forced by the
+// policy.
+func (c *Cluster) planConsolidation() {
+	ls := &c.leader
+	target := c.planSleepTarget()
+	ls.donors = ls.donors[:0]
+	for _, s := range ls.awake {
+		if c.planRegime(s) == regime.R1 && ls.r1Streak[s.ID()] >= c.cfg.SleepHysteresis {
+			ls.donors = append(ls.donors, s)
+		}
+	}
+	// Emptiest first: fewest migrations per reclaimed server.
+	ls.consolSort = consolDonorSorter{c: c, s: ls.donors}
+	sort.Stable(&ls.consolSort)
+
+	budget := c.cfg.ConsolidationBudget
+	slept := 0
+	for _, d := range ls.donors {
+		if budget > 0 && slept >= budget {
+			break
+		}
+		if !c.planEvacuation(d) {
+			continue
+		}
+		ls.plan.actions = append(ls.plan.actions, action{kind: actSleep, src: d.ID(), target: target})
+		ls.plannedSleep[d.ID()] = true
+		ls.planned = append(ls.planned, d.ID())
+		slept++
+	}
+}
+
+// planEvacuation finds placements for all of d's applications such that
+// every acceptor stays within its optimal region. The attempt is all-or-
+// nothing: a server that cannot fully empty keeps its workload (partial
+// evacuation would spend migrations without reclaiming a server), and a
+// failed attempt leaves the projection untouched — only the RNG advances,
+// exactly as the historical implementation's discarded plan did.
+func (c *Cluster) planEvacuation(d *server.Server) bool {
+	ls := &c.leader
+	limit := acceptToOptMid
+	if c.cfg.ConservativeConsolidation {
+		limit = acceptToOptLow
+	}
+	ls.evacMoves = ls.evacMoves[:0]
+	ok := true
+	for _, h := range c.planAppsByDemand(d) {
+		var dst *server.Server
+		// Bounded candidate search, like every other leader query.
+		var bestLoad units.Fraction
+		for i := 0; i < candidateSample; i++ {
+			cand := c.servers[c.rng.Intn(len(c.servers))]
+			if cand == d || !c.planActive(cand) {
+				continue
+			}
+			load := c.planLoad(cand) + ls.projected[cand.ID()]
+			if load+h.App.Demand > limit.bound(cand) {
+				continue
+			}
+			if dst == nil || load > bestLoad {
+				dst, bestLoad = cand, load
+			}
+		}
+		if dst == nil {
+			ok = false
+			break
+		}
+		if ls.projected[dst.ID()] == 0 {
+			ls.projTouched = append(ls.projTouched, dst.ID())
+		}
+		ls.projected[dst.ID()] += h.App.Demand
+		ls.evacMoves = append(ls.evacMoves, evacMove{dst: dst, h: h})
+	}
+	// Drop the per-attempt overlay either way; on success the moves
+	// commit into the durable projection instead.
+	for _, id := range ls.projTouched {
+		ls.projected[id] = 0
+	}
+	ls.projTouched = ls.projTouched[:0]
+	if !ok {
+		return false
+	}
+	for _, mv := range ls.evacMoves {
+		c.planMove(d, mv.dst, mv.h)
+	}
+	return true
+}
+
+// reliefDonorSorter orders relief donors most-urgent first: R5 before R4,
+// larger excess first, ID as the deterministic tiebreak.
+type reliefDonorSorter struct {
+	c *Cluster
+	s []*server.Server
+}
+
+func (o *reliefDonorSorter) Len() int      { return len(o.s) }
+func (o *reliefDonorSorter) Swap(i, j int) { o.s[i], o.s[j] = o.s[j], o.s[i] }
+func (o *reliefDonorSorter) Less(i, j int) bool {
+	ri, rj := o.c.planRegime(o.s[i]), o.c.planRegime(o.s[j])
+	if ri != rj {
+		return ri > rj
+	}
+	ei, ej := o.c.planExcess(o.s[i]), o.c.planExcess(o.s[j])
+	if ei != ej {
+		return ei > ej
+	}
+	return o.s[i].ID() < o.s[j].ID()
+}
+
+// acceptorSorter orders relief acceptors fullest first to concentrate
+// load, ID as the deterministic tiebreak.
+type acceptorSorter struct {
+	c *Cluster
+	s []*server.Server
+}
+
+func (o *acceptorSorter) Len() int      { return len(o.s) }
+func (o *acceptorSorter) Swap(i, j int) { o.s[i], o.s[j] = o.s[j], o.s[i] }
+func (o *acceptorSorter) Less(i, j int) bool {
+	li, lj := o.c.planLoad(o.s[i]), o.c.planLoad(o.s[j])
+	if li != lj {
+		return li > lj
+	}
+	return o.s[i].ID() < o.s[j].ID()
+}
+
+// consolDonorSorter orders consolidation donors emptiest first, ID as the
+// deterministic tiebreak.
+type consolDonorSorter struct {
+	c *Cluster
+	s []*server.Server
+}
+
+func (o *consolDonorSorter) Len() int      { return len(o.s) }
+func (o *consolDonorSorter) Swap(i, j int) { o.s[i], o.s[j] = o.s[j], o.s[i] }
+func (o *consolDonorSorter) Less(i, j int) bool {
+	li, lj := o.c.planLoad(o.s[i]), o.c.planLoad(o.s[j])
+	if li != lj {
+		return li < lj
+	}
+	return o.s[i].ID() < o.s[j].ID()
+}

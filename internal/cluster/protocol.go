@@ -3,9 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
-	"sort"
 
-	"ealb/internal/acpi"
 	"ealb/internal/migration"
 	"ealb/internal/netsim"
 	"ealb/internal/regime"
@@ -103,7 +101,7 @@ func (c *Cluster) RunIntervals(ctx context.Context, n int) ([]IntervalStats, err
 
 // runInterval executes one full reallocation interval at its end time
 // now: account energy, evolve demand (handling growth), run the leader
-// protocol, and collect statistics.
+// protocol (plan, then apply), and collect statistics.
 func (c *Cluster) runInterval(now units.Seconds) (IntervalStats, error) {
 	e0 := c.TotalEnergy()
 	c.now = now
@@ -133,17 +131,18 @@ func (c *Cluster) runInterval(now units.Seconds) (IntervalStats, error) {
 	}
 
 	// Update regime streaks for the hysteresis rules.
+	ls := &c.leader
 	for i, s := range c.servers {
 		active := c.active(s)
 		if active && s.Regime() == regime.R1 {
-			c.r1Streak[i]++
+			ls.r1Streak[i]++
 		} else {
-			c.r1Streak[i] = 0
+			ls.r1Streak[i] = 0
 		}
 		if active && s.Regime() == regime.R4 {
-			c.r4Streak[i]++
+			ls.r4Streak[i]++
 		} else {
-			c.r4Streak[i] = 0
+			ls.r4Streak[i] = 0
 		}
 	}
 
@@ -195,13 +194,16 @@ func (c *Cluster) runInterval(now units.Seconds) (IntervalStats, error) {
 // growth: absorbed locally (vertical, low-cost) when the server stays out
 // of the overload regions, moved in-cluster (horizontal, high-cost) when
 // the server is overloaded and a target exists, and absorbed locally as a
-// last resort when it does not.
+// last resort when it does not. Unlike the leader pass, demand evolution
+// is not planned: each growth event resolves (and possibly migrates)
+// immediately, interleaved with the RNG draws that produced it.
 func (c *Cluster) evolveDemand() error {
 	for _, s := range c.servers {
 		if !c.active(s) {
 			continue
 		}
-		for _, h := range s.Hosted() {
+		c.hostedScratch = s.AppendHosted(c.hostedScratch[:0])
+		for _, h := range c.hostedScratch {
 			if c.rng.Bool(c.cfg.ResetProb) {
 				// Application restart/right-sizing: fresh demand and a
 				// tight reservation, releasing accumulated headroom.
@@ -307,9 +309,12 @@ func fits(dst *server.Server, demand units.Fraction, limit acceptLimit) bool {
 }
 
 // findAcceptor samples a bounded candidate list (the leader's
-// MsgCandidateList) and returns the best-fitting eligible server: the
-// most loaded one that still fits, concentrating load per the paper's
-// reformulated load balancing goal. Returns nil when no candidate fits.
+// MsgCandidateList) and returns the best-fitting eligible server against
+// live loads: the most loaded one that still fits, concentrating load per
+// the paper's reformulated load balancing goal. Returns nil when no
+// candidate fits. The leader pass uses the projection-aware
+// planFindAcceptor instead; this live variant serves the paths that
+// migrate immediately — demand-growth routing and failure re-placement.
 func (c *Cluster) findAcceptor(demand units.Fraction, exclude *server.Server, limit acceptLimit) *server.Server {
 	var best *server.Server
 	for i := 0; i < candidateSample; i++ {
@@ -339,7 +344,7 @@ func (c *Cluster) migrate(src, dst *server.Server, h server.Hosted) error {
 	if err := h.VM.SetState(vm.Migrating); err != nil {
 		return err
 	}
-	res, err := migration.Live(h.VM, c.cfg.Migration)
+	res, err := migration.LiveCost(h.VM, c.cfg.Migration)
 	if err != nil {
 		return err
 	}
@@ -360,277 +365,95 @@ func (c *Cluster) migrate(src, dst *server.Server, h server.Hosted) error {
 	return nil
 }
 
-// balance runs the leader's end-of-interval protocol (§4): regime
-// reports, overload relief, wake-ups, and consolidation-to-sleep. It
-// returns how many sleeping servers were woken.
+// balance runs the leader's end-of-interval protocol (§4) as a pure plan
+// followed by an apply pass. It returns how many sleeping servers were
+// woken.
 func (c *Cluster) balance() (int, error) {
-	// Step 1: every awake server reports its regime to the leader.
-	awake := make([]*server.Server, 0, len(c.servers))
-	for _, s := range c.servers {
-		if !c.active(s) {
-			continue
-		}
-		awake = append(awake, s)
-		if _, err := c.net.Send(netsim.NodeID(s.ID()), netsim.LeaderNode, netsim.MsgRegimeReport, netsim.ControlMsgSize); err != nil {
-			return 0, err
-		}
-	}
-
-	woken, err := c.relieveOverload(awake)
+	plan, err := c.planBalance()
 	if err != nil {
-		return woken, err
+		return 0, err
 	}
-	if c.cfg.Sleep != SleepNever {
-		if err := c.consolidate(awake); err != nil {
-			return woken, err
-		}
+	if err := c.applyBalance(plan); err != nil {
+		return plan.woken, err
 	}
-	return woken, nil
+	return plan.woken, nil
 }
 
-// relieveOverload migrates load off R4/R5 servers onto R1/R2 servers.
-// R5 servers that find no target cause the leader to wake a sleeping
-// server (§4 step 5).
-func (c *Cluster) relieveOverload(awake []*server.Server) (int, error) {
-	var donors, acceptors []*server.Server
-	for _, s := range awake {
-		switch {
-		case s.Regime() == regime.R5:
-			// Undesirable-high: immediate attention (§4).
-			donors = append(donors, s)
-		case s.Regime() == regime.R4 && (s.Excess() >= 0.05 || c.r4Streak[s.ID()] >= 2):
-			// Suboptimal-high "does not require immediate attention"
-			// (§4): act when the deviation is large or has persisted —
-			// the paper notes the time spent in a non-optimal region
-			// matters, not just being there.
-			donors = append(donors, s)
-		case s.Regime().Underloaded():
-			acceptors = append(acceptors, s)
-		}
-	}
-	// Most urgent first: R5 before R4, larger excess first.
-	sort.SliceStable(donors, func(i, j int) bool {
-		ri, rj := donors[i].Regime(), donors[j].Regime()
-		if ri != rj {
-			return ri > rj
-		}
-		if donors[i].Excess() != donors[j].Excess() {
-			return donors[i].Excess() > donors[j].Excess()
-		}
-		return donors[i].ID() < donors[j].ID()
-	})
-	// Fullest acceptors first: concentrate load.
-	sort.SliceStable(acceptors, func(i, j int) bool {
-		if acceptors[i].Load() != acceptors[j].Load() {
-			return acceptors[i].Load() > acceptors[j].Load()
-		}
-		return acceptors[i].ID() < acceptors[j].ID()
-	})
-
-	// The leader's relief capacity per interval: spreading the initial
-	// rebalancing storm over several intervals rather than resolving it
-	// instantaneously (negotiations take time).
-	reliefBudget := max(2, len(c.servers)/15)
-	woken := 0
-	totalSheds := 0
-	for _, d := range donors {
-		if totalSheds >= reliefBudget {
-			break
-		}
-		urgent := d.Regime() == regime.R5
-		sheds := 0
-		for d.Regime().Overloaded() && sheds < maxShedsPerDonor && totalSheds < reliefBudget {
-			moved := false
-			for _, h := range d.AppsByDemand() {
-				var dst *server.Server
-				for _, a := range acceptors {
-					if a != d && fits(a, h.App.Demand, acceptToOptHigh) {
-						dst = a
-						break
-					}
-				}
-				if dst == nil && urgent {
-					// R5 requires immediate attention (§4): when no
-					// underloaded partner exists the leader widens the
-					// search to any server with optimal-region headroom.
-					dst = c.findAcceptor(h.App.Demand, d, acceptToOptHigh)
-				}
-				if dst == nil {
-					continue
-				}
-				if err := c.migrate(d, dst, h); err != nil {
-					return woken, err
-				}
-				c.ledger.Record(scaling.Horizontal, 1)
-				sheds++
-				totalSheds++
-				moved = true
-				break
+// applyBalance executes a balance plan against the cluster: control-plane
+// charges, VM migrations, wake transitions, sleep transitions, and ledger
+// records. Actions replay in plan order, which preserves the historical
+// interleaving of energy charges (reports, then per relief donor its
+// moves and wake, then per consolidation donor its moves and sleep) — the
+// float accumulators are order-sensitive, and the golden digest test pins
+// that order.
+func (c *Cluster) applyBalance(plan *balancePlan) error {
+	for _, a := range plan.actions {
+		switch a.kind {
+		case actReport:
+			if _, err := c.net.Send(netsim.NodeID(a.src), netsim.LeaderNode, netsim.MsgRegimeReport, netsim.ControlMsgSize); err != nil {
+				return err
 			}
-			if !moved {
-				break
-			}
-		}
-		if urgent && d.Regime() == regime.R5 {
-			// Still undesirable and nothing accepted: wake capacity.
-			ok, err := c.wakeOne()
+		case actMove:
+			src, err := c.serverByID(a.src)
 			if err != nil {
-				return woken, err
+				return err
 			}
-			if ok {
-				woken++
+			dst, err := c.serverByID(a.dst)
+			if err != nil {
+				return err
 			}
-		}
-	}
-	return woken, nil
-}
-
-// wakeOne wakes the sleeping server with the shortest wake latency
-// (C3 before C6). It reports whether any server was woken.
-func (c *Cluster) wakeOne() (bool, error) {
-	var pick *server.Server
-	var pickLat units.Seconds
-	for _, s := range c.servers {
-		if !s.Sleeping() || s.CStateBusy(c.now) || c.failed[s.ID()] {
-			continue
-		}
-		lat, err := s.WakeLatency()
-		if err != nil {
-			return false, err
-		}
-		if pick == nil || lat < pickLat {
-			pick, pickLat = s, lat
-		}
-	}
-	if pick == nil {
-		return false, nil
-	}
-	if _, err := c.net.Send(netsim.LeaderNode, netsim.NodeID(pick.ID()), netsim.MsgWakeCommand, netsim.ControlMsgSize); err != nil {
-		return false, err
-	}
-	ready, err := pick.Wake(c.now)
-	if err != nil {
-		return false, err
-	}
-	c.totalWakes++
-	// The setup completes asynchronously — possibly several reallocation
-	// intervals later for a C6 wake (260 s vs τ = 60 s).
-	c.sim.Schedule(ready, func(units.Seconds) { c.wakesCompleted++ })
-	return true, nil
-}
-
-// consolidate empties persistent R1 servers into other servers and
-// switches them to sleep (§4 step 1's "transfer its own workload ... and
-// then switch itself to sleep"), bounded by the leader's per-interval
-// budget. The sleep state follows the 60% rule (§6) unless forced by the
-// policy.
-func (c *Cluster) consolidate(awake []*server.Server) error {
-	target := c.sleepTarget()
-	var donors []*server.Server
-	for _, s := range awake {
-		if s.Regime() == regime.R1 && c.r1Streak[s.ID()] >= c.cfg.SleepHysteresis {
-			donors = append(donors, s)
-		}
-	}
-	// Emptiest first: fewest migrations per reclaimed server.
-	sort.SliceStable(donors, func(i, j int) bool {
-		if donors[i].Load() != donors[j].Load() {
-			return donors[i].Load() < donors[j].Load()
-		}
-		return donors[i].ID() < donors[j].ID()
-	})
-
-	budget := c.cfg.ConsolidationBudget
-	slept := 0
-	pendingSleep := make(map[server.ID]bool)
-	for _, d := range donors {
-		if budget > 0 && slept >= budget {
-			break
-		}
-		plan, ok := c.planEvacuation(d, pendingSleep)
-		if !ok {
-			continue
-		}
-		for _, mv := range plan {
-			if err := c.migrate(d, mv.dst, mv.h); err != nil {
+			h, ok := src.Lookup(a.app)
+			if !ok {
+				return fmt.Errorf("cluster: planned app %d not hosted on server %d", a.app, a.src)
+			}
+			if err := c.migrate(src, dst, h); err != nil {
 				return err
 			}
 			c.ledger.Record(scaling.Horizontal, 1)
+		case actWake:
+			s, err := c.serverByID(a.src)
+			if err != nil {
+				return err
+			}
+			if _, err := c.net.Send(netsim.LeaderNode, netsim.NodeID(a.src), netsim.MsgWakeCommand, netsim.ControlMsgSize); err != nil {
+				return err
+			}
+			ready, err := s.Wake(c.now)
+			if err != nil {
+				return err
+			}
+			c.totalWakes++
+			// The setup completes asynchronously — possibly several
+			// reallocation intervals later for a C6 wake (260 s vs
+			// τ = 60 s).
+			c.sim.Schedule(ready, func(units.Seconds) { c.wakesCompleted++ })
+		case actSleep:
+			s, err := c.serverByID(a.src)
+			if err != nil {
+				return err
+			}
+			if err := s.Sleep(a.target, c.now); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("cluster: unknown plan action %d", a.kind)
 		}
-		if err := d.Sleep(target, c.now); err != nil {
-			return err
-		}
-		pendingSleep[d.ID()] = true
-		slept++
 	}
 	return nil
 }
 
-// move is one planned evacuation step.
-type move struct {
-	h   server.Hosted
-	dst *server.Server
-}
-
-// planEvacuation finds placements for all of d's applications such that
-// every acceptor stays within its optimal region. The plan is all-or-
-// nothing: a server that cannot fully empty keeps its workload (partial
-// evacuation would spend migrations without reclaiming a server).
-func (c *Cluster) planEvacuation(d *server.Server, pendingSleep map[server.ID]bool) ([]move, bool) {
-	limit := acceptToOptMid
-	if c.cfg.ConservativeConsolidation {
-		limit = acceptToOptLow
-	}
-	apps := d.AppsByDemand()
-	plan := make([]move, 0, len(apps))
-	projected := make(map[server.ID]units.Fraction)
-	for _, h := range apps {
-		var dst *server.Server
-		// Bounded candidate search, like every other leader query.
-		var bestLoad units.Fraction
-		for i := 0; i < candidateSample; i++ {
-			cand := c.servers[c.rng.Intn(len(c.servers))]
-			if cand == d || !c.active(cand) || pendingSleep[cand.ID()] {
-				continue
-			}
-			load := cand.Load() + projected[cand.ID()]
-			if load+h.App.Demand > limit.bound(cand) {
-				continue
-			}
-			if dst == nil || load > bestLoad {
-				dst, bestLoad = cand, load
-			}
-		}
-		if dst == nil {
-			return nil, false
-		}
-		projected[dst.ID()] += h.App.Demand
-		plan = append(plan, move{h: h, dst: dst})
-	}
-	return plan, true
-}
-
-// sleepTarget applies the configured sleep policy.
-func (c *Cluster) sleepTarget() acpi.CState {
-	switch c.cfg.Sleep {
-	case SleepC3Only:
-		return acpi.C3
-	case SleepC6Only:
-		return acpi.C6
-	default:
-		// §6: C6 only when the cluster is unlikely to need the capacity
-		// back soon.
-		if c.ClusterLoad() < 0.6 {
-			return acpi.C6
-		}
-		return acpi.C3
-	}
-}
-
 // Balance runs one leader pass at the current simulation time without
 // evolving demand — the "after load balancing" state of Figure 2 relative
-// to the initial placement.
-func (c *Cluster) Balance() error {
+// to the initial placement. The context is checked before the pass
+// starts; a single pass is the protocol's atomic unit and is never
+// interrupted midway.
+func (c *Cluster) Balance(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	_, err := c.balance()
 	return err
 }

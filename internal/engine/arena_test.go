@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"ealb/internal/workload"
+)
+
+// TestArenaReuseIsInvisible: running the same cluster job repeatedly
+// through a one-worker pool forces every job after the first onto a
+// rebuilt arena cluster, and each result — including the full interval
+// stream — must be byte-identical to a fresh direct run.
+func TestArenaReuseIsInvisible(t *testing.T) {
+	direct, err := RunCluster(context.Background(), 80, workload.LowLoad(), 5, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := NewPool(1)
+	jobs := []ClusterJob{
+		// A differently-shaped job first, so the reference job's arena
+		// cluster is a rebuild from foreign state, not a fresh build.
+		{Size: 120, Band: workload.HighLoad(), Seed: 9, Intervals: 6},
+		{Size: 80, Band: workload.LowLoad(), Seed: 5, Intervals: 12},
+		{Size: 80, Band: workload.LowLoad(), Seed: 5, Intervals: 12},
+	}
+	runs, err := p.SweepCluster(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 2} {
+		got, err := json.Marshal(runs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("arena-reused job %d diverged from direct RunCluster", i)
+		}
+	}
+
+	if got := p.Stats().IntervalsSimulated; got != 6+12+12 {
+		t.Errorf("IntervalsSimulated = %d, want 30", got)
+	}
+}

@@ -38,6 +38,12 @@ func RunCluster(ctx context.Context, size int, band workload.Band, seed uint64, 
 	if err != nil {
 		return ClusterRun{}, err
 	}
+	return measureCluster(ctx, c, size, band, intervals)
+}
+
+// measureCluster runs the experiment on an already-built (fresh or
+// rebuilt) cluster and collects the ClusterRun measurements.
+func measureCluster(ctx context.Context, c *cluster.Cluster, size int, band workload.Band, intervals int) (ClusterRun, error) {
 	run := ClusterRun{Size: size, Band: band, Before: c.RegimeCounts()}
 	st, err := c.RunIntervals(ctx, intervals)
 	if err != nil {
@@ -56,6 +62,30 @@ func RunCluster(ctx context.Context, size int, band workload.Band, seed uint64, 
 	run.StdRatio = c.Ledger().StdDevRatio()
 	run.Energy = float64(c.TotalEnergy())
 	return run, nil
+}
+
+// runClusterArena executes one cluster job over the pool's cluster arena:
+// a worker that already simulated a cell rebuilds that cell's cluster in
+// place for the next one instead of reconstructing the object graph.
+// cluster.Rebuild is bit-identical to cluster.New by contract (the golden
+// digest test pins it), so arena reuse cannot perturb results.
+func (p *Pool) runClusterArena(ctx context.Context, size int, band workload.Band, seed uint64, intervals int, mutate func(*cluster.Config)) (ClusterRun, error) {
+	cfg := cluster.DefaultConfig(size, band, seed)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, _ := p.arenas.Get().(*cluster.Cluster)
+	if c == nil {
+		var err error
+		c, err = cluster.New(cfg)
+		if err != nil {
+			return ClusterRun{}, err
+		}
+	} else if err := c.Rebuild(cfg); err != nil {
+		return ClusterRun{}, err
+	}
+	defer p.arenas.Put(c)
+	return measureCluster(ctx, c, size, band, intervals)
 }
 
 // Ratios extracts the Figure 3 time series.
@@ -125,13 +155,14 @@ func (p *Pool) SweepCluster(ctx context.Context, jobs []ClusterJob) ([]ClusterRu
 				c.OnInterval = observe
 			}
 		}
-		run, err := RunCluster(ctx, j.Size, j.Band, j.Seed, j.Intervals, mutate)
+		run, err := p.runClusterArena(ctx, j.Size, j.Band, j.Seed, j.Intervals, mutate)
 		if err != nil {
 			return fmt.Errorf("engine: sweep job %d (size=%d band=%v seed=%d): %w",
 				i, j.Size, j.Band, j.Seed, err)
 		}
 		out[i] = run
 		p.addJoules(run.Energy)
+		p.addIntervals(uint64(len(run.Stats)))
 		return nil
 	})
 	if err != nil {

@@ -55,8 +55,16 @@ type Pool struct {
 	runsCompleted atomic.Uint64
 	runsFailed    atomic.Uint64
 
+	intervalsSimulated atomic.Uint64 // reallocation intervals completed by cluster jobs
+
 	joules      atomicFloat // total simulated energy across completed jobs
 	joulesSaved atomicFloat // simulated savings vs always-on baselines
+
+	// arenas recycles cluster simulations across jobs: a worker picking
+	// up the next sweep cell rebuilds a pooled cluster in place instead
+	// of reconstructing the whole object graph (cluster.Rebuild is
+	// bit-identical to cluster.New, so reuse is invisible in results).
+	arenas sync.Pool
 }
 
 // NewPool returns a pool running at most workers jobs concurrently.
@@ -84,6 +92,11 @@ type Stats struct {
 	RunsStarted   uint64
 	RunsCompleted uint64
 	RunsFailed    uint64
+	// IntervalsSimulated counts reallocation intervals completed by
+	// cluster jobs — the engine's unit of simulation throughput (a rate
+	// over it is intervals/second, the number the leader-state refactor
+	// moves).
+	IntervalsSimulated uint64
 	// SimulatedJoules is the total energy simulated by completed jobs.
 	SimulatedJoules float64
 	// JoulesSaved accumulates (always-on − energy-aware) energy from
@@ -94,16 +107,17 @@ type Stats struct {
 // Stats returns a snapshot of the pool counters.
 func (p *Pool) Stats() Stats {
 	s := Stats{
-		Workers:         p.workers,
-		JobsSubmitted:   p.jobsSubmitted.Load(),
-		JobsStarted:     p.jobsStarted.Load(),
-		JobsCompleted:   p.jobsCompleted.Load(),
-		JobsFailed:      p.jobsFailed.Load(),
-		RunsStarted:     p.runsStarted.Load(),
-		RunsCompleted:   p.runsCompleted.Load(),
-		RunsFailed:      p.runsFailed.Load(),
-		SimulatedJoules: p.joules.Load(),
-		JoulesSaved:     p.joulesSaved.Load(),
+		Workers:            p.workers,
+		JobsSubmitted:      p.jobsSubmitted.Load(),
+		JobsStarted:        p.jobsStarted.Load(),
+		JobsCompleted:      p.jobsCompleted.Load(),
+		JobsFailed:         p.jobsFailed.Load(),
+		RunsStarted:        p.runsStarted.Load(),
+		RunsCompleted:      p.runsCompleted.Load(),
+		RunsFailed:         p.runsFailed.Load(),
+		IntervalsSimulated: p.intervalsSimulated.Load(),
+		SimulatedJoules:    p.joules.Load(),
+		JoulesSaved:        p.joulesSaved.Load(),
 	}
 	if s.JobsSubmitted > s.JobsStarted {
 		s.QueueDepth = s.JobsSubmitted - s.JobsStarted
@@ -202,6 +216,9 @@ func (p *Pool) run(ctx context.Context, i int, fn func(i int) error) (err error)
 
 // addJoules accounts simulated energy.
 func (p *Pool) addJoules(j float64) { p.joules.Add(j) }
+
+// addIntervals accounts completed reallocation intervals.
+func (p *Pool) addIntervals(n uint64) { p.intervalsSimulated.Add(n) }
 
 // addSaved accounts simulated savings versus an always-on baseline.
 func (p *Pool) addSaved(j float64) {

@@ -87,6 +87,22 @@ func New() *Simulator {
 // Now returns the current virtual time.
 func (s *Simulator) Now() units.Seconds { return s.now }
 
+// Reset returns the simulator to its initial state: clock at zero, event
+// list empty, sequence and fired counters cleared. Pending events are
+// discarded without firing. The queue's backing array is retained, so a
+// rebuilt simulation reuses it. A Reset simulator is indistinguishable
+// from one freshly built by New.
+func (s *Simulator) Reset() {
+	for i := range s.queue {
+		s.queue[i] = nil
+	}
+	s.queue = s.queue[:0]
+	s.now = 0
+	s.seq = 0
+	s.fired = 0
+	s.stopped = false
+}
+
 // Fired returns how many events have executed so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
 

@@ -1,0 +1,33 @@
+package eventsim
+
+import (
+	"testing"
+
+	"ealb/internal/units"
+)
+
+// TestReset: a reset simulator must behave exactly like a fresh one —
+// clock at zero, pending events discarded, counters cleared — while
+// retaining the queue's storage.
+func TestReset(t *testing.T) {
+	s := New()
+	fired := 0
+	s.Schedule(5, func(units.Seconds) { fired++ })
+	s.Schedule(10, func(units.Seconds) { fired++ })
+	s.RunUntil(7)
+	if fired != 1 || s.Now() != 7 || s.Pending() != 1 {
+		t.Fatalf("setup: fired=%d now=%v pending=%d", fired, s.Now(), s.Pending())
+	}
+
+	s.Reset()
+	if s.Now() != 0 || s.Pending() != 0 || s.Fired() != 0 {
+		t.Errorf("after Reset: now=%v pending=%d fired=%d, want all zero", s.Now(), s.Pending(), s.Fired())
+	}
+	// The discarded event must never fire, and scheduling at time zero
+	// must be legal again.
+	s.Schedule(1, func(units.Seconds) { fired += 10 })
+	s.Run()
+	if fired != 11 {
+		t.Errorf("fired=%d after rescheduled run, want 11 (old pending event leaked)", fired)
+	}
+}

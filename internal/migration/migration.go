@@ -90,6 +90,18 @@ type Result struct {
 
 // Live computes the cost of pre-copy live migration of v under params p.
 func Live(v *vm.VM, p Params) (Result, error) {
+	return live(v, p, true)
+}
+
+// LiveCost computes exactly the same result as Live without recording the
+// per-round volumes (Result.RoundBytes stays nil) — the allocation-free
+// variant for the simulation hot path, which prices thousands of
+// migrations per reallocation interval and never reads the round trace.
+func LiveCost(v *vm.VM, p Params) (Result, error) {
+	return live(v, p, false)
+}
+
+func live(v *vm.VM, p Params, recordRounds bool) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -108,7 +120,9 @@ func Live(v *vm.VM, p Params) (Result, error) {
 		t := volume / bw
 		liveTime += t
 		res.Bytes += units.Bytes(volume)
-		res.RoundBytes = append(res.RoundBytes, units.Bytes(volume))
+		if recordRounds {
+			res.RoundBytes = append(res.RoundBytes, units.Bytes(volume))
+		}
 		res.Rounds++
 
 		// Pages dirtied while this round was copying form the next round.

@@ -229,3 +229,27 @@ func (n *Network) ResetCounters() {
 	n.perNode = make(map[NodeID]*Counters)
 	n.total = Counters{}
 }
+
+// Reset re-parameterizes the network in place for a fresh simulation and
+// zeroes all counters. Unlike ResetCounters it keeps the per-node table's
+// entries (zeroed) so a rebuilt cluster of the same size reuses every
+// Counters allocation; entries for nodes beyond the new size are dropped.
+func (n *Network) Reset(size int, p Params) error {
+	if size <= 0 {
+		return fmt.Errorf("netsim: cluster size %d must be positive", size)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	n.size = size
+	n.params = p
+	for id, c := range n.perNode {
+		if id != LeaderNode && int(id) >= size {
+			delete(n.perNode, id)
+			continue
+		}
+		*c = Counters{}
+	}
+	n.total = Counters{}
+	return nil
+}

@@ -1,0 +1,46 @@
+package netsim
+
+import "testing"
+
+// TestReset: Reset must zero all counters in place, keep in-range node
+// entries' storage, drop out-of-range ones, and re-parameterize.
+func TestReset(t *testing.T) {
+	n, err := New(8, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send(0, LeaderNode, MsgRegimeReport, ControlMsgSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send(7, 2, MsgNegotiate, ControlMsgSize); err != nil {
+		t.Fatal(err)
+	}
+	if n.TotalCounters().Messages == 0 {
+		t.Fatal("setup: expected traffic")
+	}
+
+	p := DefaultParams()
+	p.LinkIdlePower = 0
+	if err := n.Reset(4, p); err != nil {
+		t.Fatal(err)
+	}
+	if n.Size() != 4 {
+		t.Errorf("size = %d, want 4", n.Size())
+	}
+	if c := n.TotalCounters(); c != (Counters{}) {
+		t.Errorf("total counters survived Reset: %+v", c)
+	}
+	if c := n.NodeCounters(0); c != (Counters{}) {
+		t.Errorf("node counters survived Reset: %+v", c)
+	}
+	if n.IdleEnergy(100) != 0 {
+		t.Error("params not re-applied by Reset")
+	}
+	// Node 7 is outside the shrunken fabric now.
+	if _, err := n.Send(7, LeaderNode, MsgRegimeReport, ControlMsgSize); err == nil {
+		t.Error("send from dropped node succeeded after shrink")
+	}
+	if err := n.Reset(0, p); err == nil {
+		t.Error("Reset accepted a non-positive size")
+	}
+}

@@ -1,0 +1,25 @@
+package scaling
+
+import "testing"
+
+// TestLedgerReset: Reset must discard the full decision history so a
+// rebuilt simulation starts from a clean ledger.
+func TestLedgerReset(t *testing.T) {
+	l := NewLedger()
+	l.Record(Vertical, 3)
+	l.Record(Horizontal, 2)
+	l.CloseInterval()
+	l.Record(Vertical, 1)
+
+	l.Reset()
+	if got := l.Totals(); got != (Counts{}) {
+		t.Errorf("Totals after Reset = %+v, want zero", got)
+	}
+	if len(l.Intervals()) != 0 {
+		t.Errorf("closed intervals survived Reset")
+	}
+	// The open interval must be empty too.
+	if got := l.CloseInterval(); got != (Counts{}) {
+		t.Errorf("open interval survived Reset: %+v", got)
+	}
+}

@@ -69,6 +69,13 @@ type Ledger struct {
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger { return &Ledger{} }
 
+// Reset discards all recorded decisions, retaining the closed-interval
+// slice's capacity so a rebuilt simulation reuses it.
+func (l *Ledger) Reset() {
+	l.closed = l.closed[:0]
+	l.cur = Counts{}
+}
+
 // Record adds n decisions of kind k to the current interval. Negative n
 // panics: decisions cannot be unmade.
 func (l *Ledger) Record(k Kind, n int) {

@@ -602,6 +602,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ealb_engine_jobs_completed_total", "Simulation jobs completed by the pool.", "counter", fmt.Sprintf("%d", st.JobsCompleted)},
 		{"ealb_engine_jobs_failed_total", "Simulation jobs that failed (including cancellations).", "counter", fmt.Sprintf("%d", st.JobsFailed)},
 		{"ealb_engine_queue_depth", "Jobs submitted but not yet started.", "gauge", fmt.Sprintf("%d", st.QueueDepth)},
+		{"ealb_engine_intervals_simulated_total", "Reallocation intervals completed by cluster jobs.", "counter", fmt.Sprintf("%d", st.IntervalsSimulated)},
 		{"ealb_simulated_joules_total", "Total energy simulated by completed jobs, in Joules.", "counter", fmt.Sprintf("%.6g", st.SimulatedJoules)},
 		{"ealb_simulated_joules_saved_total", "Simulated savings versus always-on baselines, in Joules.", "counter", fmt.Sprintf("%.6g", st.JoulesSaved)},
 	}

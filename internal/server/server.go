@@ -13,7 +13,6 @@ package server
 
 import (
 	"fmt"
-	"sort"
 
 	"ealb/internal/acpi"
 	"ealb/internal/app"
@@ -65,30 +64,56 @@ type Server struct {
 
 // New builds a server in C0 with no load.
 func New(cfg Config) (*Server, error) {
+	s := &Server{hosted: make(map[app.ID]Hosted)}
+	if err := s.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reset re-seeds the server in place for a fresh simulation: new static
+// configuration, no hosted applications, zeroed energy account, back in
+// C0. It reuses the server's allocations (the hosted table, the app order
+// slice, and — when cfg keeps the default sleep specs — the ACPI manager),
+// which is what lets a sweep rebuild a 10^4-server cluster without
+// reconstructing the object graph. A Reset server is indistinguishable
+// from one freshly built by New with the same Config.
+func (s *Server) Reset(cfg Config) error {
 	if cfg.Power == nil {
-		return nil, fmt.Errorf("server %d: nil power model", cfg.ID)
+		return fmt.Errorf("server %d: nil power model", cfg.ID)
 	}
 	if err := cfg.Boundaries.Validate(); err != nil {
-		return nil, fmt.Errorf("server %d: %w", cfg.ID, err)
+		return fmt.Errorf("server %d: %w", cfg.ID, err)
 	}
 	if err := cfg.Migration.Validate(); err != nil {
-		return nil, fmt.Errorf("server %d: %w", cfg.ID, err)
+		return fmt.Errorf("server %d: %w", cfg.ID, err)
 	}
 	if cfg.ControlMsgEnergy < 0 || cfg.VerticalCostEnergy < 0 {
-		return nil, fmt.Errorf("server %d: negative cost parameter", cfg.ID)
+		return fmt.Errorf("server %d: negative cost parameter", cfg.ID)
 	}
-	mgr, err := acpi.NewManager(cfg.Power.Peak(), cfg.SleepSpecs)
-	if err != nil {
-		return nil, fmt.Errorf("server %d: %w", cfg.ID, err)
+	// The manager is reusable only when both the old and the new config
+	// select the default spec table; a custom-spec manager must not leak
+	// its table into a default-spec reset (or vice versa).
+	if s.acpi != nil && cfg.SleepSpecs == nil && s.cfg.SleepSpecs == nil {
+		if err := s.acpi.Reset(cfg.Power.Peak()); err != nil {
+			return fmt.Errorf("server %d: %w", cfg.ID, err)
+		}
+	} else {
+		mgr, err := acpi.NewManager(cfg.Power.Peak(), cfg.SleepSpecs)
+		if err != nil {
+			return fmt.Errorf("server %d: %w", cfg.ID, err)
+		}
+		s.acpi = mgr
 	}
-	return &Server{
-		id:         cfg.ID,
-		boundaries: cfg.Boundaries,
-		pm:         cfg.Power,
-		acpi:       mgr,
-		cfg:        cfg,
-		hosted:     make(map[app.ID]Hosted),
-	}, nil
+	s.id = cfg.ID
+	s.boundaries = cfg.Boundaries
+	s.pm = cfg.Power
+	s.cfg = cfg
+	clear(s.hosted)
+	s.order = s.order[:0]
+	s.energy = 0
+	s.lastAccount = 0
+	return nil
 }
 
 // ID returns the server's identifier.
@@ -139,13 +164,19 @@ func (s *Server) Regime() regime.Region { return s.boundaries.Classify(s.Load())
 
 // Hosted returns the hosted pairs in deterministic (insertion) order.
 func (s *Server) Hosted() []Hosted {
-	out := make([]Hosted, 0, len(s.order))
+	return s.AppendHosted(make([]Hosted, 0, len(s.order)))
+}
+
+// AppendHosted appends the hosted pairs in insertion order to buf and
+// returns the extended slice — the allocation-free accessor the cluster's
+// per-interval loops use with a reused scratch buffer.
+func (s *Server) AppendHosted(buf []Hosted) []Hosted {
 	for _, id := range s.order {
 		if h, ok := s.hosted[id]; ok {
-			out = append(out, h)
+			buf = append(buf, h)
 		}
 	}
-	return out
+	return buf
 }
 
 // Lookup returns the hosted pair for an application ID.
@@ -296,7 +327,7 @@ func (s *Server) Evaluate() (Evaluation, error) {
 	ev.JCost = units.Joules(msgs * float64(s.cfg.ControlMsgEnergy))
 
 	if v := s.largestVM(); v != nil {
-		res, err := migration.Live(v, s.cfg.Migration)
+		res, err := migration.LiveCost(v, s.cfg.Migration)
 		if err != nil {
 			return Evaluation{}, fmt.Errorf("server %d: %w", s.id, err)
 		}
@@ -329,8 +360,26 @@ func (s *Server) largestVM() *vm.VM {
 // fewest migrations).
 func (s *Server) AppsByDemand() []Hosted {
 	out := s.Hosted()
-	sort.SliceStable(out, func(i, j int) bool { return out[i].App.Demand > out[j].App.Demand })
+	SortByDemand(out)
 	return out
+}
+
+// SortByDemand stable-sorts hosted pairs by descending demand in place.
+// Stability matters for reproducibility: pairs with equal demand keep
+// their insertion order, so the shed order — and with it every downstream
+// RNG draw — is a pure function of the hosted set. The insertion sort is
+// allocation-free (sort.SliceStable's closure and reflect-based swapper
+// both escape) and hosted lists are short, so O(n²) never bites.
+func SortByDemand(hs []Hosted) {
+	for i := 1; i < len(hs); i++ {
+		h := hs[i]
+		j := i - 1
+		for j >= 0 && hs[j].App.Demand < h.App.Demand {
+			hs[j+1] = hs[j]
+			j--
+		}
+		hs[j+1] = h
+	}
 }
 
 // Headroom returns spare capacity before the load leaves the optimal

@@ -1,0 +1,25 @@
+package vm
+
+import "testing"
+
+// TestInitMatchesNew: Init must fully overwrite a recycled value,
+// including resetting the lifecycle state to Provisioning.
+func TestInitMatchesNew(t *testing.T) {
+	fresh, err := New(3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := VM{ID: 99, CPUShare: 0.9, state: Stopped}
+	if err := Init(&dirty, 3, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if dirty != *fresh {
+		t.Errorf("Init left residue: %+v vs %+v", dirty, *fresh)
+	}
+	if dirty.State() != Provisioning {
+		t.Errorf("state = %v, want Provisioning", dirty.State())
+	}
+	if err := Init(&dirty, 3, Config{}); err == nil {
+		t.Error("Init accepted a zero config")
+	}
+}

@@ -75,26 +75,39 @@ func DefaultConfig() Config {
 
 // New creates a VM in the Provisioning state.
 func New(id ID, cfg Config) (*VM, error) {
+	v := new(VM)
+	if err := Init(v, id, cfg); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Init validates and initializes a (possibly recycled) VM value in place
+// in the Provisioning state — the arena-friendly variant of New. Every
+// field is overwritten; the initialized value is identical to one
+// returned by New.
+func Init(v *VM, id ID, cfg Config) error {
 	if cfg.Memory <= 0 {
-		return nil, fmt.Errorf("vm: non-positive memory %v", cfg.Memory)
+		return fmt.Errorf("vm: non-positive memory %v", cfg.Memory)
 	}
 	if cfg.ImageSize < 0 {
-		return nil, fmt.Errorf("vm: negative image size %v", cfg.ImageSize)
+		return fmt.Errorf("vm: negative image size %v", cfg.ImageSize)
 	}
 	if !cfg.CPUShare.Valid() {
-		return nil, fmt.Errorf("vm: CPU share %v outside [0,1]", cfg.CPUShare)
+		return fmt.Errorf("vm: CPU share %v outside [0,1]", cfg.CPUShare)
 	}
 	if cfg.DirtyRate < 0 {
-		return nil, fmt.Errorf("vm: negative dirty rate %v", cfg.DirtyRate)
+		return fmt.Errorf("vm: negative dirty rate %v", cfg.DirtyRate)
 	}
-	return &VM{
+	*v = VM{
 		ID:        id,
 		Memory:    cfg.Memory,
 		ImageSize: cfg.ImageSize,
 		CPUShare:  cfg.CPUShare,
 		DirtyRate: cfg.DirtyRate,
 		state:     Provisioning,
-	}, nil
+	}
+	return nil
 }
 
 // State returns the current lifecycle state.

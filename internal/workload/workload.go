@@ -62,13 +62,19 @@ func InitialLoads(rng *xrand.Rand, n int, b Band) ([]units.Fraction, error) {
 // reaches the target (the final app is trimmed to land exactly on it,
 // subject to the minimum size).
 func AppSizes(rng *xrand.Rand, target units.Fraction, minSize, maxSize float64) ([]units.Fraction, error) {
+	return AppendAppSizes(nil, rng, target, minSize, maxSize)
+}
+
+// AppendAppSizes is AppSizes appending into a caller-owned buffer — the
+// allocation-free variant used when a cluster is rebuilt in place over a
+// reused scratch slice. The RNG draw sequence is identical to AppSizes.
+func AppendAppSizes(dst []units.Fraction, rng *xrand.Rand, target units.Fraction, minSize, maxSize float64) ([]units.Fraction, error) {
 	if minSize <= 0 || maxSize <= minSize || maxSize > 1 {
 		return nil, fmt.Errorf("workload: invalid app size range [%v,%v)", minSize, maxSize)
 	}
 	if !target.Valid() {
 		return nil, fmt.Errorf("workload: invalid target load %v", target)
 	}
-	var sizes []units.Fraction
 	var sum float64
 	for sum < float64(target) {
 		s := rng.Uniform(minSize, maxSize)
@@ -78,10 +84,10 @@ func AppSizes(rng *xrand.Rand, target units.Fraction, minSize, maxSize float64) 
 			}
 			s = remaining
 		}
-		sizes = append(sizes, units.Fraction(s))
+		dst = append(dst, units.Fraction(s))
 		sum += s
 	}
-	return sizes, nil
+	return dst, nil
 }
 
 // PopulateApps materializes a server's initial applications from the
