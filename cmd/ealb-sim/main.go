@@ -1,11 +1,15 @@
-// Command ealb-sim runs a single cluster simulation and streams
-// per-interval statistics, suitable for piping into plotting tools.
+// Command ealb-sim runs a single cluster — or, with -clusters, a
+// federated multi-cluster farm behind a front-end dispatcher — and
+// streams per-interval statistics, suitable for piping into plotting
+// tools.
 //
 // Usage:
 //
 //	ealb-sim -size 1000 -load high -intervals 40 -seed 42
 //	ealb-sim -size 100 -load low -csv
 //	ealb-sim -size 10000 -cpuprofile cpu.out -memprofile mem.out
+//	ealb-sim -clusters 4 -size 100 -dispatch least-loaded
+//	ealb-sim -clusters 8 -size 50 -dispatch energy-headroom -arrivals 10 -csv
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"ealb"
 )
@@ -32,11 +37,14 @@ func main() {
 
 func run() error {
 	var (
-		size       = flag.Int("size", 1000, "cluster size (number of servers)")
+		size       = flag.Int("size", 1000, "cluster size (number of servers, per cluster when -clusters > 1)")
 		load       = flag.String("load", "low", "initial load band: low (20-40%) or high (60-80%)")
 		intervals  = flag.Int("intervals", 40, "reallocation intervals to simulate")
 		seed       = flag.Uint64("seed", 2014, "simulation seed")
 		sleep      = flag.String("sleep", "auto", "sleep policy: auto, c3, c6, never")
+		clusters   = flag.Int("clusters", 1, "number of federated clusters; above 1 runs a farm behind a front-end dispatcher")
+		dispatch   = flag.String("dispatch", "round-robin", "farm dispatch policy: round-robin, least-loaded, energy-headroom")
+		arrivals   = flag.Float64("arrivals", -1, "mean new applications arriving per interval farm-wide (-1 selects the default open workload)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
@@ -99,6 +107,25 @@ func run() error {
 		return fmt.Errorf("unknown sleep policy %q", *sleep)
 	}
 
+	if *clusters < 1 {
+		return fmt.Errorf("-clusters %d must be at least 1", *clusters)
+	}
+	if *clusters > 1 {
+		return runFarm(ctx, *clusters, cfg, *dispatch, *arrivals, *intervals, *seed, *csv)
+	}
+	// Farm-only flags on a single-cluster run would be silently ignored;
+	// refuse instead so the user knows the run they asked for needs
+	// -clusters.
+	var farmOnly []string
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "dispatch" || f.Name == "arrivals" {
+			farmOnly = append(farmOnly, "-"+f.Name)
+		}
+	})
+	if len(farmOnly) > 0 {
+		return fmt.Errorf("%s only apply to farm runs; add -clusters N (N > 1)", strings.Join(farmOnly, ", "))
+	}
+
 	c, err := ealb.NewCluster(cfg)
 	if err != nil {
 		return err
@@ -131,5 +158,53 @@ func run() error {
 		"\ntotal energy: %v  migrations: %d  wakes: %d  sleeping at end: %d  mean ratio: %.4f (std %.4f)\n",
 		c.TotalEnergy(), c.Migrations(), c.Wakes(), c.SleepingCount(),
 		c.Ledger().MeanRatio(), c.Ledger().StdDevRatio())
+	return nil
+}
+
+// runFarm simulates a federated farm: clusters × size servers behind the
+// chosen dispatcher, the per-interval advance phase parallelized on an
+// engine sized to the machine.
+func runFarm(ctx context.Context, clusters int, ccfg ealb.ClusterConfig, dispatch string, arrivals float64, intervals int, seed uint64, csv bool) error {
+	policy, err := ealb.ParseDispatchPolicy(dispatch)
+	if err != nil {
+		return err
+	}
+	cfg := ealb.DefaultClusterFarmConfig(clusters, ccfg.Size, ccfg.InitialLoad, seed)
+	cfg.Dispatch = policy
+	cfg.Cluster = ccfg
+	if arrivals >= 0 {
+		cfg.ArrivalRate = arrivals
+	}
+	f, err := ealb.NewClusterFarm(cfg)
+	if err != nil {
+		return err
+	}
+	stats, err := f.RunIntervals(ctx, intervals, ealb.NewEngine(0))
+	if err != nil {
+		return err
+	}
+
+	if csv {
+		fmt.Println("interval,mean_load,sleeping,woken,migrations,dispatched,rejected,sla_violations,overload_fraction,total_power_w,interval_energy_j")
+		for _, s := range stats {
+			fmt.Printf("%d,%.6f,%d,%d,%d,%d,%d,%d,%.6f,%.1f,%.1f\n",
+				s.Index, float64(s.MeanLoad), s.Sleeping, s.Woken, s.Migrations,
+				s.Dispatched, s.Rejected, s.SLAViolations, s.OverloadFraction,
+				float64(s.TotalPower), float64(s.IntervalEnergy))
+		}
+	} else {
+		fmt.Printf("%-8s %-8s %-9s %-10s %-10s %-9s %-6s %-10s\n",
+			"interval", "load", "sleeping", "migrations", "dispatched", "rejected", "SLA", "power(W)")
+		for _, s := range stats {
+			fmt.Printf("%-8d %-8.3f %-9d %-10d %-10d %-9d %-6d %-10.0f\n",
+				s.Index, float64(s.MeanLoad), s.Sleeping, s.Migrations,
+				s.Dispatched, s.Rejected, s.SLAViolations, float64(s.TotalPower))
+		}
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"\nfarm (%d clusters × %d servers, %s dispatch): total energy: %v  migrations: %d  wakes: %d  sleeping at end: %d  dispatched: %d  rejected: %d\n",
+		clusters, ccfg.Size, policy, f.TotalEnergy(), f.Migrations(), f.Wakes(),
+		f.SleepingCount(), f.Dispatched(), f.Rejected())
 	return nil
 }

@@ -44,6 +44,7 @@ import (
 	"ealb/internal/cluster"
 	"ealb/internal/engine"
 	"ealb/internal/experiments"
+	"ealb/internal/farm"
 	"ealb/internal/policy"
 	"ealb/internal/serve"
 	"ealb/internal/units"
@@ -103,6 +104,60 @@ func LowLoad() Band { return workload.LowLoad() }
 
 // HighLoad returns the paper's 60-80% initial-load band.
 func HighLoad() Band { return workload.HighLoad() }
+
+// Federated farm simulation: a farm of independent clusters behind a
+// front-end dispatcher routing newly arriving applications (§4's
+// hierarchical cloud). Note this is distinct from FarmConfig, the §3
+// capacity-management policy farm below.
+type (
+	// ClusterFarm is a federation of clusters with a front-end
+	// dispatcher.
+	ClusterFarm = farm.Farm
+	// ClusterFarmConfig parameterizes a federated simulation; start from
+	// DefaultClusterFarmConfig.
+	ClusterFarmConfig = farm.Config
+	// FarmIntervalStats summarizes one farm interval: per-cluster
+	// statistics plus farm-level aggregates (total power, sleep counts,
+	// overload fraction, dispatch counts).
+	FarmIntervalStats = farm.IntervalStats
+	// DispatchPolicy selects how the front-end routes new applications.
+	DispatchPolicy = farm.DispatchPolicy
+	// FarmRun is the raw outcome of a federated engine scenario.
+	FarmRun = engine.FarmRun
+)
+
+// Dispatch policies.
+const (
+	// DispatchRoundRobin cycles through the clusters — the oblivious
+	// baseline.
+	DispatchRoundRobin = farm.DispatchRoundRobin
+	// DispatchLeastLoaded routes to the cluster with the lowest mean
+	// load.
+	DispatchLeastLoaded = farm.DispatchLeastLoaded
+	// DispatchEnergyHeadroom routes to the cluster whose awake servers
+	// can absorb the most demand without waking anyone.
+	DispatchEnergyHeadroom = farm.DispatchEnergyHeadroom
+)
+
+// DefaultClusterFarmConfig returns the §5 parameterization federated
+// across clusters of size servers each, with the default open arrival
+// workload.
+func DefaultClusterFarmConfig(clusters, size int, band Band, seed uint64) ClusterFarmConfig {
+	return farm.DefaultConfig(clusters, size, band, seed)
+}
+
+// NewClusterFarm builds and populates a federated farm simulation. Its
+// RunIntervals accepts an *Engine as the runner to advance clusters in
+// parallel (nil advances them serially; results are byte-identical).
+func NewClusterFarm(cfg ClusterFarmConfig) (*ClusterFarm, error) { return farm.New(cfg) }
+
+// ParseDispatchPolicy converts a dispatch policy name (see
+// DispatchPolicyNames) into a DispatchPolicy.
+func ParseDispatchPolicy(spec string) (DispatchPolicy, error) { return farm.ParseDispatch(spec) }
+
+// DispatchPolicyNames lists the policies ParseDispatchPolicy accepts:
+// round-robin, least-loaded and energy-headroom.
+func DispatchPolicyNames() []string { return farm.DispatchPolicies() }
 
 // Capacity-management policies (§3).
 type (
@@ -253,6 +308,9 @@ const (
 	ScenarioCluster = engine.KindCluster
 	// ScenarioPolicy runs the §3 policy line-up on a server farm.
 	ScenarioPolicy = engine.KindPolicy
+	// ScenarioFarm runs the federated multi-cluster ecosystem behind a
+	// front-end dispatcher.
+	ScenarioFarm = engine.KindFarm
 )
 
 // NewEngine returns an engine running at most workers simulations

@@ -259,6 +259,7 @@ type Cluster struct {
 	migrations         int
 	intervalMigrations int
 	totalWakes         int
+	admitted           int
 	nextVMID           vm.ID
 
 	// failed tracks crashed servers (failure-injection extension),
@@ -341,6 +342,7 @@ func (c *Cluster) Rebuild(cfg Config) error {
 	c.migrations = 0
 	c.intervalMigrations = 0
 	c.totalWakes = 0
+	c.admitted = 0
 	c.nextVMID = 1
 	c.failedCount = 0
 	c.failures = 0

@@ -62,6 +62,9 @@ func groupKey(s Scenario) string {
 	switch s.Kind {
 	case KindPolicy:
 		return fmt.Sprintf("profile=%s servers=%d", s.Profile, s.Servers)
+	case KindFarm:
+		return fmt.Sprintf("clusters=%d size=%d band=%s sleep=%s dispatch=%s",
+			s.Clusters, s.Size, s.Band, s.Sleep, s.Dispatch)
 	default:
 		return fmt.Sprintf("size=%d band=%s sleep=%s", s.Size, s.Band, s.Sleep)
 	}
@@ -74,6 +77,13 @@ func (r Result) metrics() (energy, saved, sla float64) {
 		for _, pr := range r.Policies {
 			energy += float64(pr.Energy)
 			sla += float64(pr.ViolationSlots)
+		}
+	case KindFarm:
+		if r.Farm != nil {
+			energy = r.Farm.Energy
+			for _, st := range r.Farm.Stats {
+				sla += float64(st.SLAViolations)
+			}
 		}
 	default:
 		if r.Cluster != nil {

@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"ealb/internal/farm"
+	"ealb/internal/workload"
+)
+
+// FarmRun is the raw outcome of one federated farm simulation — the
+// measurements behind the farm panels (power, sleep counts, overload
+// fraction versus dispatcher policy).
+type FarmRun struct {
+	Clusters   int
+	Size       int // servers per cluster
+	Band       workload.Band
+	Dispatch   string
+	Before     [5]int // farm-wide regime distribution at t=0
+	After      [5]int // farm-wide regime distribution after the run (awake servers)
+	Stats      []farm.IntervalStats
+	Sleeping   int     // servers asleep at the end, farm-wide
+	AvgAsleep  float64 // mean sleeping count across intervals
+	Dispatched int     // arrivals placed by the front-end
+	Rejected   int     // arrivals no cluster could admit
+	Energy     float64 // total Joules, farm-wide
+	Wakes      int
+	Migrations int
+}
+
+// farmRegimes sums the per-cluster awake regime counts.
+func farmRegimes(f *farm.Farm) [5]int {
+	var out [5]int
+	for _, c := range f.Clusters() {
+		rc := c.RegimeCounts()
+		for i, n := range rc {
+			out[i] += n
+		}
+	}
+	return out
+}
+
+// RunFarm executes one federated simulation: cfg.Clusters independent
+// clusters behind the configured dispatcher, advanced for the given
+// number of intervals on r (nil runs the clusters serially; a Pool runs
+// them concurrently with byte-identical results). Every random stream
+// derives from cfg.Seed, so the result is identical no matter which
+// worker — or how many — runs it.
+func RunFarm(ctx context.Context, cfg farm.Config, intervals int, r farm.Runner) (FarmRun, error) {
+	f, err := farm.New(cfg)
+	if err != nil {
+		return FarmRun{}, err
+	}
+	return measureFarm(ctx, f, intervals, r)
+}
+
+// measureFarm runs the experiment on an already-built (fresh or rebuilt)
+// farm and collects the FarmRun measurements.
+func measureFarm(ctx context.Context, f *farm.Farm, intervals int, r farm.Runner) (FarmRun, error) {
+	cfg := f.Config()
+	run := FarmRun{
+		Clusters: cfg.Clusters,
+		Size:     cfg.Cluster.Size,
+		Band:     cfg.Cluster.InitialLoad,
+		Dispatch: cfg.Dispatch.String(),
+		Before:   farmRegimes(f),
+	}
+	st, err := f.RunIntervals(ctx, intervals, r)
+	if err != nil {
+		return FarmRun{}, err
+	}
+	run.Stats = st
+	run.After = farmRegimes(f)
+	run.Sleeping = f.SleepingCount()
+	run.Dispatched = f.Dispatched()
+	run.Rejected = f.Rejected()
+	run.Wakes = f.Wakes()
+	run.Migrations = f.Migrations()
+	var asleep float64
+	for _, s := range st {
+		asleep += float64(s.Sleeping)
+	}
+	run.AvgAsleep = asleep / float64(len(st))
+	run.Energy = float64(f.TotalEnergy())
+	return run, nil
+}
+
+// runFarmArena executes one farm job over the pool's farm arena: a
+// worker that already simulated a farm cell rebuilds that cell's farm —
+// including every per-cluster arena — in place for the next one.
+// farm.Rebuild is bit-identical to farm.New by contract (the federated
+// golden digest test pins it), so arena reuse cannot perturb results.
+// The farm's clusters advance on r (the pool itself for a lone cell,
+// nil — serial — when the cells already saturate the pool).
+func (p *Pool) runFarmArena(ctx context.Context, cfg farm.Config, intervals int, r farm.Runner) (FarmRun, error) {
+	f, _ := p.farms.Get().(*farm.Farm)
+	if f == nil {
+		var err error
+		f, err = farm.New(cfg)
+		if err != nil {
+			return FarmRun{}, err
+		}
+	} else if err := f.Rebuild(cfg); err != nil {
+		return FarmRun{}, err
+	}
+	defer p.farms.Put(f)
+	return measureFarm(ctx, f, intervals, r)
+}
+
+// runFarmCells executes the farm cells of a sweep. A single cell fans
+// its clusters out across the pool per interval; a multi-cell sweep
+// instead parallelizes across cells (each cell advancing its clusters
+// serially, which is byte-identical by the farm's determinism
+// contract) — cells are independent and usually outnumber one farm's
+// clusters, and a cell-level Map must not nest another Map inside it,
+// which would deadlock a saturated pool.
+func (p *Pool) runFarmCells(ctx context.Context, cells []Scenario, results []Result, observe func(int, any)) error {
+	runCell := func(ci int, r farm.Runner) error {
+		cell := cells[ci]
+		cfg, err := cell.farmSimConfig()
+		if err != nil {
+			return err
+		}
+		if observe != nil {
+			cfg.OnInterval = func(st farm.IntervalStats) { observe(ci, st) }
+		}
+		run, err := p.runFarmArena(ctx, cfg, cell.Intervals, r)
+		if err != nil {
+			return fmt.Errorf("engine: farm cell %d (clusters=%d size=%d dispatch=%s seed=%d): %w",
+				ci, cfg.Clusters, cfg.Cluster.Size, cfg.Dispatch, cfg.Seed, err)
+		}
+		results[ci] = Result{Kind: cell.Kind, Scenario: cell, Farm: &run}
+		p.addJoules(run.Energy)
+		p.addIntervals(uint64(len(run.Stats) * cfg.Clusters))
+		return nil
+	}
+	if len(cells) == 1 {
+		return runCell(0, p)
+	}
+	return p.Map(ctx, len(cells), func(ci int) error { return runCell(ci, nil) })
+}
+
+// farmSimConfig derives the farm configuration of a normalized farm
+// scenario.
+func (s Scenario) farmSimConfig() (farm.Config, error) {
+	band, err := ParseBand(s.Band)
+	if err != nil {
+		return farm.Config{}, err
+	}
+	sleep, err := ParseSleepPolicy(s.Sleep)
+	if err != nil {
+		return farm.Config{}, err
+	}
+	dispatch, err := farm.ParseDispatch(s.Dispatch)
+	if err != nil {
+		return farm.Config{}, err
+	}
+	cfg := farm.DefaultConfig(s.Clusters, s.Size, band, s.SeedValue())
+	cfg.Dispatch = dispatch
+	if s.ArrivalRate != nil {
+		// An explicit 0 runs a closed farm; only an absent field keeps
+		// the default open workload (Normalized records it).
+		cfg.ArrivalRate = *s.ArrivalRate
+	}
+	cfg.Cluster.Sleep = sleep
+	return cfg, nil
+}

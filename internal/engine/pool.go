@@ -64,7 +64,10 @@ type Pool struct {
 	// up the next sweep cell rebuilds a pooled cluster in place instead
 	// of reconstructing the whole object graph (cluster.Rebuild is
 	// bit-identical to cluster.New, so reuse is invisible in results).
+	// farms does the same for whole federated farms — each pooled farm
+	// carries its member clusters' arenas with it.
 	arenas sync.Pool
+	farms  sync.Pool
 }
 
 // NewPool returns a pool running at most workers jobs concurrently.

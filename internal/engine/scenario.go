@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"ealb/internal/cluster"
+	"ealb/internal/farm"
 	"ealb/internal/policy"
 	"ealb/internal/units"
 	"ealb/internal/workload"
@@ -33,6 +34,13 @@ const (
 	MaxScenarioIntervals = 10_000
 	// MaxScenarioServers bounds a policy scenario's farm size.
 	MaxScenarioServers = 100_000
+	// MaxScenarioClusters bounds a farm scenario's cluster count (the
+	// clusters × size product is additionally bounded by
+	// MaxScenarioSize).
+	MaxScenarioClusters = 1_000
+	// MaxScenarioArrivalRate bounds a farm scenario's mean arrivals per
+	// interval.
+	MaxScenarioArrivalRate = 100_000
 	// MaxScenarioHorizon bounds a policy scenario's simulated time —
 	// thirty days at the default 10 s decision slot.
 	MaxScenarioHorizon = units.Seconds(30 * 24 * 3600)
@@ -45,6 +53,9 @@ const (
 	// KindPolicy runs the §3 capacity-management policy line-up on a
 	// server farm driven by a named workload profile.
 	KindPolicy = "policy"
+	// KindFarm runs the federated ecosystem: a farm of independent
+	// clusters behind a front-end dispatcher routing new arrivals.
+	KindFarm = "farm"
 )
 
 // Scenario describes one simulation cell: the scalar form of the JSON
@@ -77,6 +88,21 @@ type Scenario struct {
 	// measured E_ref/E_opt savings.
 	CompareBaseline bool `json:"compare_baseline,omitempty"`
 
+	// Farm scenarios (federated clusters behind a dispatcher). The
+	// cluster fields above describe each member cluster (Size is servers
+	// per cluster).
+	//
+	// Clusters is the cluster count (default 2). Dispatch selects the
+	// front-end routing policy: "round-robin", "least-loaded" or
+	// "energy-headroom". ArrivalRate is the mean number of new
+	// applications arriving per interval farm-wide; an absent field
+	// selects the default open workload (clusters × size / 100 per
+	// interval) while an explicit 0 runs a closed farm — the pointer
+	// distinguishes the two, like Seed. Build one with RateOf.
+	Clusters    int      `json:"clusters,omitempty"`
+	Dispatch    string   `json:"dispatch,omitempty"`
+	ArrivalRate *float64 `json:"arrival_rate,omitempty"`
+
 	// Policy scenarios (§3).
 	//
 	// Profile names the arrival-rate profile (workload.ProfileNames:
@@ -93,6 +119,11 @@ type Scenario struct {
 // SeedOf returns a Scenario/SweepSpec seed holding v. The indirection
 // exists so an explicit seed 0 is distinguishable from an absent field.
 func SeedOf(v uint64) *uint64 { return &v }
+
+// RateOf returns a Scenario arrival rate holding v. The indirection
+// exists so an explicit rate 0 (a closed farm) is distinguishable from
+// an absent field (the default open workload).
+func RateOf(v float64) *float64 { return &v }
 
 // SeedValue returns the scenario's seed, applying the default when the
 // field is absent.
@@ -113,7 +144,7 @@ func (s Scenario) Normalized() Scenario {
 		s.Seed = SeedOf(DefaultSeed)
 	}
 	switch s.Kind {
-	case KindCluster:
+	case KindCluster, KindFarm:
 		if s.Size == 0 {
 			s.Size = 100
 		}
@@ -125,6 +156,17 @@ func (s Scenario) Normalized() Scenario {
 		}
 		if s.Sleep == "" {
 			s.Sleep = "auto"
+		}
+		if s.Kind == KindFarm {
+			if s.Clusters == 0 {
+				s.Clusters = 2
+			}
+			if s.Dispatch == "" {
+				s.Dispatch = "round-robin"
+			}
+			if s.ArrivalRate == nil {
+				s.ArrivalRate = RateOf(farm.DefaultArrivalRate(s.Clusters, s.Size))
+			}
 		}
 	case KindPolicy:
 		if s.Profile == "" {
@@ -143,18 +185,35 @@ func (s Scenario) Normalized() Scenario {
 // Validate checks a normalized scenario.
 func (s Scenario) Validate() error {
 	switch s.Kind {
-	case KindCluster:
+	case KindCluster, KindFarm:
 		if s.Size <= 1 || s.Size > MaxScenarioSize {
-			return fmt.Errorf("engine: cluster scenario needs 1 < size <= %d, got %d", MaxScenarioSize, s.Size)
+			return fmt.Errorf("engine: %s scenario needs 1 < size <= %d, got %d", s.Kind, MaxScenarioSize, s.Size)
 		}
 		if s.Intervals <= 0 || s.Intervals > MaxScenarioIntervals {
-			return fmt.Errorf("engine: cluster scenario needs 0 < intervals <= %d, got %d", MaxScenarioIntervals, s.Intervals)
+			return fmt.Errorf("engine: %s scenario needs 0 < intervals <= %d, got %d", s.Kind, MaxScenarioIntervals, s.Intervals)
 		}
 		if _, err := ParseBand(s.Band); err != nil {
 			return err
 		}
 		if _, err := ParseSleepPolicy(s.Sleep); err != nil {
 			return err
+		}
+		if s.Kind == KindFarm {
+			if s.Clusters < 1 || s.Clusters > MaxScenarioClusters {
+				return fmt.Errorf("engine: farm scenario needs 1 <= clusters <= %d, got %d", MaxScenarioClusters, s.Clusters)
+			}
+			if s.Clusters*s.Size > MaxScenarioSize {
+				return fmt.Errorf("engine: farm scenario needs clusters × size <= %d, got %d", MaxScenarioSize, s.Clusters*s.Size)
+			}
+			if s.ArrivalRate != nil && (*s.ArrivalRate < 0 || *s.ArrivalRate > MaxScenarioArrivalRate) {
+				return fmt.Errorf("engine: farm scenario needs 0 <= arrival_rate <= %d, got %v", MaxScenarioArrivalRate, *s.ArrivalRate)
+			}
+			if _, err := farm.ParseDispatch(s.Dispatch); err != nil {
+				return err
+			}
+			if s.CompareBaseline {
+				return fmt.Errorf("engine: farm scenarios do not support compare_baseline; sweep the sleep axis instead")
+			}
 		}
 	case KindPolicy:
 		if s.Servers < 0 || s.Servers > MaxScenarioServers {
@@ -168,7 +227,7 @@ func (s Scenario) Validate() error {
 			return err
 		}
 	default:
-		return fmt.Errorf("engine: unknown scenario kind %q (want %q or %q)", s.Kind, KindCluster, KindPolicy)
+		return fmt.Errorf("engine: unknown scenario kind %q (want %q, %q or %q)", s.Kind, KindCluster, KindPolicy, KindFarm)
 	}
 	return nil
 }
@@ -227,6 +286,8 @@ type Result struct {
 	Kind     string      `json:"kind"`
 	Scenario Scenario    `json:"scenario"`
 	Cluster  *ClusterRun `json:"cluster,omitempty"`
+	// Farm holds the federated result of a farm scenario.
+	Farm *FarmRun `json:"farm,omitempty"`
 	// AlwaysOnJoules and JoulesSaved are set when the scenario requested
 	// a baseline comparison.
 	AlwaysOnJoules float64 `json:"always_on_joules,omitempty"`

@@ -23,13 +23,15 @@ const MaxScenarioJobs = 4096
 // scalar is simply a one-element axis. Giving both the scalar and the
 // list form of the same axis is an error.
 //
-// Cluster axes: Seeds, Sizes, Bands, Sleeps. Policy axes: Seeds,
-// Profiles, ServerCounts. Cells expand in deterministic order — the
-// rightmost axis varies fastest: sizes → bands → sleeps → seeds →
-// replications for cluster sweeps, profiles → server counts → seeds →
-// replications for policy sweeps — and every cell records its fully
-// normalized Scenario, so any cell can be re-run individually with a
-// bit-identical result.
+// Cluster axes: Seeds, Sizes, Bands, Sleeps. Farm axes: the cluster
+// axes (sizing each member cluster) plus ClusterCounts and Dispatches.
+// Policy axes: Seeds, Profiles, ServerCounts. Cells expand in
+// deterministic order — the rightmost axis varies fastest: sizes →
+// bands → sleeps → seeds → replications for cluster sweeps, with
+// cluster counts → dispatches inserted before seeds for farm sweeps,
+// and profiles → server counts → seeds → replications for policy
+// sweeps — and every cell records its fully normalized Scenario, so any
+// cell can be re-run individually with a bit-identical result.
 type SweepSpec struct {
 	Scenario
 
@@ -37,10 +39,15 @@ type SweepSpec struct {
 	// s + r, so `"seeds": [1], "replications": 3` sweeps seeds 1, 2, 3.
 	Seeds []uint64 `json:"seeds,omitempty"`
 
-	// Cluster axes.
+	// Cluster axes (shared with farm sweeps, which size each member
+	// cluster with them).
 	Sizes  []int    `json:"sizes,omitempty"`
 	Bands  []string `json:"bands,omitempty"`
 	Sleeps []string `json:"sleeps,omitempty"`
+
+	// Farm axes.
+	ClusterCounts []int    `json:"cluster_counts,omitempty"`
+	Dispatches    []string `json:"dispatches,omitempty"`
 
 	// Policy axes.
 	Profiles     []string `json:"profiles,omitempty"`
@@ -56,7 +63,8 @@ type SweepSpec struct {
 // request: no list axis and no replication fan-out.
 func (sp SweepSpec) SingleRun() bool {
 	return len(sp.Seeds) == 0 && len(sp.Sizes) == 0 && len(sp.Bands) == 0 &&
-		len(sp.Sleeps) == 0 && len(sp.Profiles) == 0 && len(sp.ServerCounts) == 0 &&
+		len(sp.Sleeps) == 0 && len(sp.ClusterCounts) == 0 && len(sp.Dispatches) == 0 &&
+		len(sp.Profiles) == 0 && len(sp.ServerCounts) == 0 &&
 		sp.Replications <= 1
 }
 
@@ -72,6 +80,8 @@ func (sp SweepSpec) axisConflicts() error {
 		{"size", "sizes", sp.Scenario.Size != 0 && len(sp.Sizes) > 0},
 		{"band", "bands", sp.Scenario.Band != "" && len(sp.Bands) > 0},
 		{"sleep", "sleeps", sp.Scenario.Sleep != "" && len(sp.Sleeps) > 0},
+		{"clusters", "cluster_counts", sp.Scenario.Clusters != 0 && len(sp.ClusterCounts) > 0},
+		{"dispatch", "dispatches", sp.Scenario.Dispatch != "" && len(sp.Dispatches) > 0},
 		{"profile", "profiles", sp.Scenario.Profile != "" && len(sp.Profiles) > 0},
 		{"servers", "server_counts", sp.Scenario.Servers != 0 && len(sp.ServerCounts) > 0},
 	} {
@@ -130,9 +140,12 @@ func (sp SweepSpec) Expand() (ExpandedSweep, error) {
 	sp.Scenario.Seed = nil
 	perCellJobs := 1
 	switch sp.Kind {
-	case KindCluster:
+	case KindCluster, KindFarm:
 		if len(sp.Profiles) > 0 || len(sp.ServerCounts) > 0 {
 			return fail(fmt.Errorf(`engine: "profiles"/"server_counts" are policy axes; this is a %q sweep`, sp.Kind))
+		}
+		if sp.Kind == KindCluster && (len(sp.ClusterCounts) > 0 || len(sp.Dispatches) > 0) {
+			return fail(fmt.Errorf(`engine: "cluster_counts"/"dispatches" are farm axes; this is a %q sweep`, sp.Kind))
 		}
 		if len(sp.Sizes) == 0 {
 			sp.Sizes = []int{sp.Scenario.Size}
@@ -146,12 +159,26 @@ func (sp SweepSpec) Expand() (ExpandedSweep, error) {
 		sp.Scenario.Size = 0
 		sp.Scenario.Band = ""
 		sp.Scenario.Sleep = ""
+		if sp.Kind == KindFarm {
+			if len(sp.ClusterCounts) == 0 {
+				sp.ClusterCounts = []int{sp.Scenario.Clusters}
+			}
+			if len(sp.Dispatches) == 0 {
+				sp.Dispatches = []string{sp.Scenario.Dispatch}
+			}
+			sp.Scenario.Clusters = 0
+			sp.Scenario.Dispatch = ""
+		}
 		if sp.CompareBaseline {
+			// Farm cells reject the flag per cell in Validate.
 			perCellJobs = 2
 		}
 	case KindPolicy:
 		if len(sp.Sizes) > 0 || len(sp.Bands) > 0 || len(sp.Sleeps) > 0 {
 			return fail(fmt.Errorf(`engine: "sizes"/"bands"/"sleeps" are cluster axes; this is a %q sweep`, sp.Kind))
+		}
+		if len(sp.ClusterCounts) > 0 || len(sp.Dispatches) > 0 {
+			return fail(fmt.Errorf(`engine: "cluster_counts"/"dispatches" are farm axes; this is a %q sweep`, sp.Kind))
 		}
 		if len(sp.Profiles) == 0 {
 			sp.Profiles = []string{sp.Scenario.Profile}
@@ -163,7 +190,7 @@ func (sp SweepSpec) Expand() (ExpandedSweep, error) {
 		sp.Scenario.Servers = 0
 		perCellJobs = len(policy.StandardSet(0, nil))
 	default:
-		return fail(fmt.Errorf("engine: unknown scenario kind %q (want %q or %q)", sp.Kind, KindCluster, KindPolicy))
+		return fail(fmt.Errorf("engine: unknown scenario kind %q (want %q, %q or %q)", sp.Kind, KindCluster, KindPolicy, KindFarm))
 	}
 
 	// The job budget, checked by division before each multiplication so
@@ -172,6 +199,7 @@ func (sp SweepSpec) Expand() (ExpandedSweep, error) {
 	jobs := perCellJobs
 	for _, factor := range []int{
 		len(sp.Seeds), len(sp.Sizes), len(sp.Bands), len(sp.Sleeps),
+		len(sp.ClusterCounts), len(sp.Dispatches),
 		len(sp.Profiles), len(sp.ServerCounts), sp.Replications,
 	} {
 		if factor == 0 {
@@ -207,6 +235,26 @@ func (sp SweepSpec) Expand() (ExpandedSweep, error) {
 						cell.Seed = SeedOf(seed)
 						if err := addCell(cell); err != nil {
 							return fail(err)
+						}
+					}
+				}
+			}
+		}
+	case KindFarm:
+		for _, size := range sp.Sizes {
+			for _, band := range sp.Bands {
+				for _, sleep := range sp.Sleeps {
+					for _, clusters := range sp.ClusterCounts {
+						for _, dispatch := range sp.Dispatches {
+							for _, seed := range sp.Seeds {
+								cell := sp.Scenario
+								cell.Size, cell.Band, cell.Sleep = size, band, sleep
+								cell.Clusters, cell.Dispatch = clusters, dispatch
+								cell.Seed = SeedOf(seed)
+								if err := addCell(cell); err != nil {
+									return fail(err)
+								}
+							}
 						}
 					}
 				}
@@ -249,11 +297,13 @@ func (p *Pool) RunSweep(ctx context.Context, spec SweepSpec) (SweepResult, error
 }
 
 // RunSweepObserved is RunSweep with a live interval observer: observe
-// (when non-nil) receives every completed reallocation interval of every
-// cluster cell, identified by the cell's expansion index, while the
-// sweep is still running. It is called from worker goroutines and must
-// be safe for concurrent use. Baseline comparison runs are not observed.
-func (p *Pool) RunSweepObserved(ctx context.Context, spec SweepSpec, observe func(cell int, st cluster.IntervalStats)) (SweepResult, error) {
+// (when non-nil) receives every completed interval of every cluster or
+// farm cell — a cluster.IntervalStats or farm.IntervalStats value,
+// matching the sweep kind — identified by the cell's expansion index,
+// while the sweep is still running. It is called from worker goroutines
+// and must be safe for concurrent use. Baseline comparison runs are not
+// observed.
+func (p *Pool) RunSweepObserved(ctx context.Context, spec SweepSpec, observe func(cell int, st any)) (SweepResult, error) {
 	ex, err := spec.Expand()
 	if err != nil {
 		return SweepResult{}, err
@@ -264,7 +314,7 @@ func (p *Pool) RunSweepObserved(ctx context.Context, spec SweepSpec, observe fun
 // RunExpanded executes an already-expanded sweep, so callers that
 // expanded the spec for validation (the HTTP service does, on submit)
 // need not pay for a second expansion.
-func (p *Pool) RunExpanded(ctx context.Context, ex ExpandedSweep, observe func(cell int, st cluster.IntervalStats)) (SweepResult, error) {
+func (p *Pool) RunExpanded(ctx context.Context, ex ExpandedSweep, observe func(cell int, st any)) (SweepResult, error) {
 	p.runsStarted.Add(1)
 	res, err := p.runSweep(ctx, ex.spec, ex.cells, observe)
 	if err != nil {
@@ -277,12 +327,18 @@ func (p *Pool) RunExpanded(ctx context.Context, ex ExpandedSweep, observe func(c
 
 // runSweep executes the expanded cells. Cluster cells flatten into one
 // pool-level job list (nesting Map calls would deadlock a saturated
-// pool); policy cells flatten into one job per (cell, policy) pair.
-func (p *Pool) runSweep(ctx context.Context, spec SweepSpec, cells []Scenario, observe func(int, cluster.IntervalStats)) (SweepResult, error) {
+// pool); policy cells flatten into one job per (cell, policy) pair;
+// farm cells run one after another, each fanning its clusters out
+// across the pool per interval.
+func (p *Pool) runSweep(ctx context.Context, spec SweepSpec, cells []Scenario, observe func(int, any)) (SweepResult, error) {
 	out := SweepResult{Spec: spec, Cells: make([]Result, len(cells))}
 	switch spec.Kind {
 	case KindCluster:
 		if err := p.runClusterCells(ctx, cells, out.Cells, observe); err != nil {
+			return SweepResult{}, err
+		}
+	case KindFarm:
+		if err := p.runFarmCells(ctx, cells, out.Cells, observe); err != nil {
 			return SweepResult{}, err
 		}
 	case KindPolicy:
@@ -294,7 +350,7 @@ func (p *Pool) runSweep(ctx context.Context, spec SweepSpec, cells []Scenario, o
 	return out, nil
 }
 
-func (p *Pool) runClusterCells(ctx context.Context, cells []Scenario, results []Result, observe func(int, cluster.IntervalStats)) error {
+func (p *Pool) runClusterCells(ctx context.Context, cells []Scenario, results []Result, observe func(int, any)) error {
 	type slot struct {
 		cell     int
 		baseline bool

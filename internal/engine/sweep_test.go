@@ -8,8 +8,6 @@ import (
 	"sync"
 	"testing"
 	"time"
-
-	"ealb/internal/cluster"
 )
 
 func mustExpand(t *testing.T, spec SweepSpec) (SweepSpec, []Scenario) {
@@ -237,7 +235,7 @@ func TestRunSweepCancellationStopsMidSimulation(t *testing.T) {
 		t.Fatal(err)
 	}
 	seen := 0
-	_, err := NewPool(1).RunSweepObserved(ctx, spec, func(cell int, st cluster.IntervalStats) {
+	_, err := NewPool(1).RunSweepObserved(ctx, spec, func(cell int, st any) {
 		seen++
 		if seen == 2 {
 			cancel()
@@ -273,7 +271,7 @@ func TestSweepObserverSeesEveryInterval(t *testing.T) {
 	}
 	var mu sync.Mutex
 	counts := make(map[int]int)
-	res, err := NewPool(4).RunSweepObserved(context.Background(), spec, func(cell int, st cluster.IntervalStats) {
+	res, err := NewPool(4).RunSweepObserved(context.Background(), spec, func(cell int, st any) {
 		mu.Lock()
 		counts[cell]++
 		mu.Unlock()

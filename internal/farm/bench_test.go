@@ -1,0 +1,59 @@
+package farm
+
+import (
+	"context"
+	"testing"
+
+	"ealb/internal/workload"
+)
+
+// BenchmarkFarmIntervals measures steady-state federated throughput:
+// one farm interval (dispatch + every cluster's reallocation pass) per
+// iteration, serial advance so the number is comparable across
+// machines.
+func BenchmarkFarmIntervals(b *testing.B) {
+	for _, shape := range []struct {
+		name     string
+		clusters int
+		size     int
+	}{
+		{"4x100", 4, 100},
+		{"10x1000", 10, 1000},
+	} {
+		b.Run(shape.name, func(b *testing.B) {
+			f, err := New(DefaultConfig(shape.clusters, shape.size, workload.LowLoad(), 1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Settle past the initial rebalancing storm.
+			if _, err := f.RunIntervals(context.Background(), 5, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.RunIntervals(context.Background(), 1, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFarmRebuild measures the arena path: re-seeding a whole farm
+// in place for the next sweep cell.
+func BenchmarkFarmRebuild(b *testing.B) {
+	cfg := DefaultConfig(4, 250, workload.LowLoad(), 1)
+	f, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		if err := f.Rebuild(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestSubmitFarmRunAndTail: the service accepts a farm body, reports a
+// farm result, and streams farm interval stats — including per-cluster
+// breakdowns — over the NDJSON tail, per cell of a farm sweep.
+func TestSubmitFarmRunAndTail(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, run := postRun(t, ts,
+		`{"kind":"farm","clusters":3,"size":40,"dispatch":"least-loaded","intervals":5}`, true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST status = %d", resp.StatusCode)
+	}
+	if run.Status != StatusDone || run.Result == nil || run.Result.Farm == nil {
+		t.Fatalf("farm run = %+v", run)
+	}
+	if got := run.Result.Farm.Clusters; got != 3 {
+		t.Errorf("farm ran %d clusters, want 3", got)
+	}
+	if len(run.Result.Farm.Stats) != 5 || run.Result.Farm.Energy <= 0 {
+		t.Fatalf("farm result incomplete: %+v", run.Result.Farm)
+	}
+
+	tail, err := http.Get(ts.URL + "/v1/runs/" + run.ID + "/intervals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Body.Close()
+	if tail.StatusCode != http.StatusOK {
+		t.Fatalf("tail status = %d", tail.StatusCode)
+	}
+	dec := json.NewDecoder(tail.Body)
+	lines := 0
+	for dec.More() {
+		var st struct {
+			Index    int `json:"index"`
+			Clusters []struct {
+				Sleeping int
+			} `json:"clusters"`
+		}
+		if err := dec.Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Index != lines+1 {
+			t.Errorf("interval %d arrived with index %d", lines, st.Index)
+		}
+		if len(st.Clusters) != 3 {
+			t.Errorf("interval %d carries %d cluster breakdowns, want 3", st.Index, len(st.Clusters))
+		}
+		lines++
+	}
+	if lines != 5 {
+		t.Errorf("tailed %d farm intervals, want 5", lines)
+	}
+}
+
+// TestFarmSweepCells: a farm sweep over dispatchers answers per-cell
+// results and each cell's intervals are tailable by expansion index.
+func TestFarmSweepCells(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, run := postRun(t, ts,
+		`{"kind":"farm","size":40,"clusters":2,"dispatches":["round-robin","energy-headroom"],"intervals":3}`, true)
+	if run.Status != StatusDone || run.Sweep == nil {
+		t.Fatalf("run = %+v", run)
+	}
+	if len(run.Sweep.Cells) != 2 {
+		t.Fatalf("sweep has %d cells, want 2", len(run.Sweep.Cells))
+	}
+	for cell, want := range []string{"round-robin", "energy-headroom"} {
+		if got := run.Sweep.Cells[cell].Farm.Dispatch; got != want {
+			t.Errorf("cell %d dispatch = %q, want %q", cell, got, want)
+		}
+		resp, err := http.Get(fmt.Sprintf("%s/v1/runs/%s/intervals?cell=%d", ts.URL, run.ID, cell))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := json.NewDecoder(resp.Body)
+		lines := 0
+		for dec.More() {
+			var st struct{ Index int }
+			if err := dec.Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			lines++
+		}
+		resp.Body.Close()
+		if lines != 3 {
+			t.Errorf("cell %d streamed %d intervals, want 3", cell, lines)
+		}
+	}
+}

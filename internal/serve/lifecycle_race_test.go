@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestDeleteWhileTailing is the run-lifecycle race regression (run it
+// under -race; CI does): DELETE /v1/runs/{id} while NDJSON interval
+// tails are attached must not race the tail buffers or deadlock the
+// readers, every tail must terminate promptly, and the stream must end
+// with the run's cancelled status as its final line.
+func TestDeleteWhileTailing(t *testing.T) {
+	s, ts := newTestServer(t)
+	// Long enough that cancellation, not completion, ends the run.
+	_, run := postRun(t, ts, `{"size":300,"intervals":10000}`, false)
+
+	type tailResult struct {
+		intervals int
+		status    string
+		err       error
+	}
+	const readers = 3
+	results := make([]tailResult, readers)
+	var started, finished sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		started.Add(1)
+		finished.Add(1)
+		go func(r int) {
+			defer finished.Done()
+			resp, err := http.Get(ts.URL + "/v1/runs/" + run.ID + "/intervals")
+			if err != nil {
+				started.Done()
+				results[r].err = err
+				return
+			}
+			defer resp.Body.Close()
+			dec := json.NewDecoder(resp.Body)
+			signalled := false
+			for dec.More() {
+				var line struct {
+					Index  int
+					Status string `json:"status"`
+				}
+				if err := dec.Decode(&line); err != nil {
+					results[r].err = err
+					break
+				}
+				switch {
+				case line.Status != "":
+					results[r].status = line.Status
+				default:
+					results[r].intervals++
+				}
+				if !signalled {
+					// First interval observed: the simulation is live and
+					// this tail is attached mid-run.
+					signalled = true
+					started.Done()
+				}
+			}
+			if !signalled {
+				started.Done()
+			}
+		}(r)
+	}
+
+	// Cancel only once every tail is demonstrably attached to a running
+	// simulation.
+	started.Wait()
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+run.ID, nil)
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del.Body.Close()
+	if del.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE status = %d", del.StatusCode)
+	}
+
+	// Every tail must terminate on its own — finished.Wait() hanging here
+	// is the deadlock this test exists to catch (the test binary's global
+	// timeout turns it into a failure with stacks).
+	finished.Wait()
+	s.Wait()
+
+	if got := s.snapshot(run.ID).Status; got != StatusCancelled {
+		t.Fatalf("run status = %q, want %q", got, StatusCancelled)
+	}
+	for r, res := range results {
+		if res.err != nil {
+			t.Errorf("tail %d failed: %v", r, res.err)
+		}
+		if res.status != StatusCancelled {
+			t.Errorf("tail %d terminal line status = %q, want %q", r, res.status, StatusCancelled)
+		}
+	}
+}

@@ -36,7 +36,6 @@ import (
 	"sync"
 	"time"
 
-	"ealb/internal/cluster"
 	"ealb/internal/engine"
 )
 
@@ -250,7 +249,7 @@ func (s *Server) newRun(ex engine.ExpandedSweep, single bool, cancel context.Can
 		sp := spec
 		run.Spec = &sp
 	}
-	if spec.Kind == engine.KindCluster {
+	if spec.Kind == engine.KindCluster || spec.Kind == engine.KindFarm {
 		run.tail = newTail(len(ex.Cells()))
 	}
 	s.runs[run.ID] = run
@@ -265,7 +264,7 @@ func (s *Server) execute(ctx context.Context, run *Run) {
 	run.Started = &now
 	s.mu.Unlock()
 
-	var observe func(int, cluster.IntervalStats)
+	var observe func(int, any)
 	if run.tail != nil {
 		observe = run.tail.observe
 	}
@@ -419,7 +418,7 @@ func (s *Server) handleIntervals(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if run.tail == nil {
-		httpError(w, http.StatusConflict, "run has no per-interval stats (not a cluster scenario)")
+		httpError(w, http.StatusConflict, "run has no per-interval stats (not a cluster or farm scenario)")
 		return
 	}
 	cell := 0
@@ -439,7 +438,7 @@ func (s *Server) handleIntervals(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	emit := func(items []cluster.IntervalStats) bool {
+	emit := func(items []any) bool {
 		for _, st := range items {
 			if err := enc.Encode(st); err != nil {
 				return false
@@ -469,6 +468,13 @@ func (s *Server) handleIntervals(w http.ResponseWriter, r *http.Request) {
 			continue // re-check before blocking: more may have arrived
 		}
 		if done {
+			// done without release means the run failed or was
+			// cancelled; close the stream with the terminal status so a
+			// tail client sees why no more intervals will come. (A
+			// successful run releases its buffers instead and never
+			// reaches here.)
+			snap := s.snapshot(run.ID)
+			emit([]any{map[string]string{"status": snap.Status, "error": snap.Error}})
 			return
 		}
 		select {
@@ -479,44 +485,64 @@ func (s *Server) handleIntervals(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// cellStats returns the recorded per-interval stats of one cluster cell
-// of a finished run (nil when absent).
-func (run *Run) cellStats(cell int) []cluster.IntervalStats {
-	switch {
-	case run == nil:
+// cellStats returns the recorded per-interval stats of one cluster or
+// farm cell of a finished run (nil when absent).
+func (run *Run) cellStats(cell int) []any {
+	if run == nil {
 		return nil
-	case run.Result != nil && run.Result.Cluster != nil && cell == 0:
-		return run.Result.Cluster.Stats
-	case run.Sweep != nil && cell < len(run.Sweep.Cells) && run.Sweep.Cells[cell].Cluster != nil:
-		return run.Sweep.Cells[cell].Cluster.Stats
+	}
+	var res *engine.Result
+	switch {
+	case run.Result != nil && cell == 0:
+		res = run.Result
+	case run.Sweep != nil && cell < len(run.Sweep.Cells):
+		res = &run.Sweep.Cells[cell]
+	}
+	if res == nil {
+		return nil
+	}
+	switch {
+	case res.Cluster != nil:
+		out := make([]any, len(res.Cluster.Stats))
+		for i, st := range res.Cluster.Stats {
+			out[i] = st
+		}
+		return out
+	case res.Farm != nil:
+		out := make([]any, len(res.Farm.Stats))
+		for i, st := range res.Farm.Stats {
+			out[i] = st
+		}
+		return out
 	}
 	return nil
 }
 
-// tail buffers the per-interval statistics of a run's cluster cells so
-// clients can stream them while the simulation is still running. Once
-// the run completes successfully the buffers are released — the same
-// data lives in the recorded result, and the service keeps runs for its
-// whole lifetime.
+// tail buffers the per-interval statistics of a run's cluster or farm
+// cells — items are cluster.IntervalStats or farm.IntervalStats values,
+// matching the run kind — so clients can stream them while the
+// simulation is still running. Once the run completes successfully the
+// buffers are released — the same data lives in the recorded result,
+// and the service keeps runs for its whole lifetime.
 type tail struct {
 	n int // cell count, stable after construction
 
 	mu       sync.Mutex
-	cells    [][]cluster.IntervalStats
+	cells    [][]any
 	done     bool
 	released bool
 	wake     chan struct{} // closed and replaced on every append/finish
 }
 
 func newTail(cells int) *tail {
-	return &tail{n: cells, cells: make([][]cluster.IntervalStats, cells), wake: make(chan struct{})}
+	return &tail{n: cells, cells: make([][]any, cells), wake: make(chan struct{})}
 }
 
 func (t *tail) cellCount() int { return t.n }
 
 // observe appends one interval and wakes blocked readers. It is called
 // from engine worker goroutines.
-func (t *tail) observe(cell int, st cluster.IntervalStats) {
+func (t *tail) observe(cell int, st any) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if cell < 0 || cell >= len(t.cells) || t.done {
@@ -546,7 +572,7 @@ func (t *tail) finish(release bool) {
 // flags, and a channel that is closed on the next append/finish. When
 // released is true the buffers are gone and the caller must read the
 // run's recorded result instead.
-func (t *tail) after(cell, from int) (items []cluster.IntervalStats, done, released bool, wake <-chan struct{}) {
+func (t *tail) after(cell, from int) (items []any, done, released bool, wake <-chan struct{}) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.released {
