@@ -10,6 +10,7 @@
 //	ealb-sim -size 10000 -cpuprofile cpu.out -memprofile mem.out
 //	ealb-sim -clusters 4 -size 100 -dispatch least-loaded
 //	ealb-sim -clusters 8 -size 50 -dispatch energy-headroom -arrivals 10 -csv
+//	ealb-sim -size 100 -mtbf 3600 -mttr 300     # stochastic server churn
 package main
 
 import (
@@ -42,6 +43,8 @@ func run() error {
 		intervals  = flag.Int("intervals", 40, "reallocation intervals to simulate")
 		seed       = flag.Uint64("seed", 2014, "simulation seed")
 		sleep      = flag.String("sleep", "auto", "sleep policy: auto, c3, c6, never")
+		mtbf       = flag.Float64("mtbf", 0, "mean time between failures per server in seconds; 0 disables churn")
+		mttr       = flag.Float64("mttr", 300, "mean time to repair a failed server in seconds (used when -mtbf > 0)")
 		clusters   = flag.Int("clusters", 1, "number of federated clusters; above 1 runs a farm behind a front-end dispatcher")
 		dispatch   = flag.String("dispatch", "round-robin", "farm dispatch policy: round-robin, least-loaded, energy-headroom")
 		arrivals   = flag.Float64("arrivals", -1, "mean new applications arriving per interval farm-wide (-1 selects the default open workload)")
@@ -106,6 +109,13 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown sleep policy %q", *sleep)
 	}
+	if *mtbf < 0 || *mttr <= 0 {
+		return fmt.Errorf("-mtbf %v must be >= 0 and -mttr %v must be positive", *mtbf, *mttr)
+	}
+	if *mtbf > 0 {
+		cfg.MTBF = ealb.Seconds(*mtbf)
+		cfg.MTTR = ealb.Seconds(*mttr)
+	}
 
 	if *clusters < 1 {
 		return fmt.Errorf("-clusters %d must be at least 1", *clusters)
@@ -158,6 +168,11 @@ func run() error {
 		"\ntotal energy: %v  migrations: %d  wakes: %d  sleeping at end: %d  mean ratio: %.4f (std %.4f)\n",
 		c.TotalEnergy(), c.Migrations(), c.Wakes(), c.SleepingCount(),
 		c.Ledger().MeanRatio(), c.Ledger().StdDevRatio())
+	if *mtbf > 0 {
+		fmt.Fprintf(os.Stderr,
+			"churn: failures: %d  repairs: %d  apps replaced: %d  apps lost: %d  failed at end: %d\n",
+			c.Failures(), c.Repairs(), c.AppsReplaced(), c.AppsLost(), c.FailedCount())
+	}
 	return nil
 }
 
@@ -206,5 +221,10 @@ func runFarm(ctx context.Context, clusters int, ccfg ealb.ClusterConfig, dispatc
 		"\nfarm (%d clusters × %d servers, %s dispatch): total energy: %v  migrations: %d  wakes: %d  sleeping at end: %d  dispatched: %d  rejected: %d\n",
 		clusters, ccfg.Size, policy, f.TotalEnergy(), f.Migrations(), f.Wakes(),
 		f.SleepingCount(), f.Dispatched(), f.Rejected())
+	if ccfg.MTBF > 0 {
+		fmt.Fprintf(os.Stderr,
+			"churn: failures: %d  repairs: %d  apps replaced: %d  apps lost: %d\n",
+			f.Failures(), f.Repairs(), f.AppsReplaced(), f.AppsLost())
+	}
 	return nil
 }

@@ -1,0 +1,92 @@
+// Stochastic churn: dispatcher resilience under server failures. Every
+// run drives the same federated farm through the same MTBF/MTTR
+// failure–repair process (exponential time-to-failure per live server,
+// exponential time-to-repair per failed one) and the same arrival
+// stream; only the front-end's routing differs. The table shows how
+// each dispatch policy absorbs the churn: the availability it sustains,
+// the applications lost when a crash finds no surviving capacity, and
+// the energy it pays for the resilience.
+//
+// Run with:
+//
+//	go run ./examples/churn
+//	go run ./examples/churn -mtbf 1800 -mttr 600 -load high
+//	go run ./examples/churn -clusters 8 -size 50 -intervals 60
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"ealb"
+)
+
+func main() {
+	clusters := flag.Int("clusters", 4, "number of federated clusters")
+	size := flag.Int("size", 100, "servers per cluster")
+	load := flag.String("load", "low", "initial load band: low or high")
+	intervals := flag.Int("intervals", 40, "reallocation intervals")
+	seed := flag.Uint64("seed", 2014, "simulation seed")
+	mtbf := flag.Float64("mtbf", 3600, "mean time between failures per server, seconds")
+	mttr := flag.Float64("mttr", 300, "mean time to repair a failed server, seconds")
+	arrivals := flag.Float64("arrivals", -1, "mean arriving apps per interval (-1 = default)")
+	flag.Parse()
+
+	band := ealb.LowLoad()
+	if *load == "high" {
+		band = ealb.HighLoad()
+	}
+	eng := ealb.NewEngine(0)
+
+	fmt.Printf("churned farm: %d clusters × %d servers, %s load, MTBF %.0fs / MTTR %.0fs, %d intervals\n\n",
+		*clusters, *size, *load, *mtbf, *mttr, *intervals)
+	fmt.Printf("%-17s %-13s %-10s %-9s %-9s %-9s %-10s %-9s\n",
+		"dispatch", "energy (kWh)", "avail", "failures", "replaced", "lost", "dispatched", "rejected")
+
+	for _, name := range ealb.DispatchPolicyNames() {
+		policy, err := ealb.ParseDispatchPolicy(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := ealb.DefaultClusterFarmConfig(*clusters, *size, band, *seed)
+		cfg.Dispatch = policy
+		cfg.Cluster.MTBF = ealb.Seconds(*mtbf)
+		cfg.Cluster.MTTR = ealb.Seconds(*mttr)
+		if *arrivals >= 0 {
+			cfg.ArrivalRate = *arrivals
+		}
+		f, err := ealb.NewClusterFarm(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := f.RunIntervals(context.Background(), *intervals, eng)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		var avail float64
+		for _, st := range stats {
+			if st.Availability != nil {
+				avail += *st.Availability
+			}
+		}
+		fmt.Printf("%-17s %-13.2f %-10.5f %-9d %-9d %-9d %-10d %-9d\n",
+			name, f.TotalEnergy().KWh(), avail/float64(len(stats)),
+			f.Failures(), f.AppsReplaced(), f.AppsLost(), f.Dispatched(), f.Rejected())
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println(" - every run sees the identical failure process (same seeds, same per-cluster")
+	fmt.Println("   churn streams); availability differences come from how routing loads the")
+	fmt.Println("   servers that are about to crash and how much slack survives a crash;")
+	fmt.Println(" - apps are lost only when a crash finds no surviving acceptor — watch the")
+	fmt.Println("   lost column grow at high load or with -mttr much longer than -mtbf;")
+	fmt.Println(" - least-loaded keeps per-cluster slack even, which usually minimizes losses;")
+	fmt.Println("   energy-headroom preserves sleepers but concentrates arrivals on fewer")
+	fmt.Println("   awake servers, so each crash orphans more work.")
+	fmt.Println(strings.Repeat("-", 60))
+	fmt.Println("per-interval churn streams: ealb-sim -clusters N -mtbf S -mttr S -csv")
+}

@@ -224,3 +224,46 @@ func TestDeeperSleepAlwaysDrawsLessProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestManagerCrash(t *testing.T) {
+	m, err := NewManager(200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-sleep-entry: the transition is abandoned, the state is
+	// back in C0, and the already-spent entry energy is kept.
+	if _, err := m.Sleep(C6, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Busy(102) {
+		t.Fatal("C6 entry should be in flight at t=102")
+	}
+	spent := m.TransitionEnergy()
+	m.Crash()
+	if m.State() != C0 || m.Busy(102) {
+		t.Errorf("after crash: state=%v busy=%v, want C0 idle", m.State(), m.Busy(102))
+	}
+	if m.TransitionEnergy() != spent {
+		t.Errorf("crash altered transition energy: %v -> %v", spent, m.TransitionEnergy())
+	}
+
+	// Crash mid-wake: same contract, and no wake energy is charged twice.
+	if _, err := m.Sleep(C3, 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wake(300); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Busy(310) {
+		t.Fatal("C3 wake should be in flight at t=310")
+	}
+	spent = m.TransitionEnergy()
+	m.Crash()
+	if m.State() != C0 || m.Busy(310) || m.TransitionEnergy() != spent {
+		t.Error("crash mid-wake left transition state or energy inconsistent")
+	}
+	// A crashed (rebooted) manager accepts a fresh sleep immediately.
+	if _, err := m.Sleep(C3, 400); err != nil {
+		t.Errorf("sleep after crash: %v", err)
+	}
+}

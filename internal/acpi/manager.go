@@ -128,6 +128,18 @@ func (m *Manager) Wake(now units.Seconds) (units.Seconds, error) {
 	return m.busyUntil, nil
 }
 
+// Crash abandons any in-flight transition and returns the manager to C0
+// without charging wake energy: the server lost power, so its next state
+// change is a reboot, not an ACPI transition. Accumulated transition
+// energy and counters are kept — that energy was really spent before the
+// crash. The caller owns the outage itself (a crashed server draws
+// nothing until repaired); Crash only reconciles the transition state so
+// a repaired server provably rejoins in C0 with nothing armed.
+func (m *Manager) Crash() {
+	m.state = C0
+	m.busyUntil = 0
+}
+
 // SleepPower returns the draw of the current state while asleep. Calling
 // it in C0 is a programming error (operational power comes from the power
 // model, not from the ACPI table) and panics.

@@ -37,6 +37,35 @@ func BenchmarkClusterIntervals(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterIntervalsChurn measures the steady-state interval cost
+// with the stochastic failure–repair process enabled (MTBF 20τ, MTTR 5τ
+// — failures nearly every interval at these sizes). The delta against
+// BenchmarkClusterIntervals is the price of churn: deadline scans plus
+// the orphan re-placement migrations failures trigger.
+func BenchmarkClusterIntervalsChurn(b *testing.B) {
+	for _, size := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			cfg := DefaultConfig(size, workload.LowLoad(), 1)
+			cfg.MTBF = 20 * cfg.Tau
+			cfg.MTTR = 5 * cfg.Tau
+			c, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.RunIntervals(context.Background(), 5); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.RunIntervals(context.Background(), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkClusterConstruction measures building and populating clusters
 // from scratch — the per-cell cost a sweep pays without the engine's
 // arena reuse.

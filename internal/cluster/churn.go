@@ -1,0 +1,91 @@
+package cluster
+
+import "ealb/internal/units"
+
+// Stochastic churn: the MTBF/MTTR failure–repair process. §1 names fault
+// resilience among load balancing's original goals; churn turns the
+// manual failure-injection API (failure.go) into a first-class workload
+// dimension, modeled the classic way — exponential time-to-failure per
+// live server, exponential time-to-repair per failed server (cf. the
+// Poisson-process risk modeling of PAPERS.md's ruin-theory entry).
+//
+// Determinism contract. All churn randomness comes from a dedicated
+// stream split from the seed root after every pre-existing stream, so a
+// churn-disabled run draws exactly the streams it always drew (the
+// golden digests pin this). Deadlines are drawn lazily in server-ID
+// order — at Rebuild for the initial time-to-failure, and at each
+// state flip for the next one — and the process is stepped exactly once
+// per reallocation interval, after demand evolution and before the
+// leader's balance pass, so serial and parallel executions of the same
+// scenario stay byte-identical under the engine's existing contract
+// (clusters never share streams; the step is part of the cluster's own
+// sequential interval).
+
+// seedChurn draws every server's initial time-to-failure. Called from
+// Rebuild after the churn state is cleared; a no-op when churn is
+// disabled, so the stream stays untouched for non-churned runs.
+func (c *Cluster) seedChurn() {
+	if c.cfg.MTBF <= 0 {
+		return
+	}
+	for i := range c.failAt {
+		c.failAt[i] = units.Seconds(c.churnRNG.ExpFloat64(1 / float64(c.cfg.MTBF)))
+	}
+}
+
+// armRepair draws a failed server's repair deadline. Called from
+// FailServer for every failure — churn-originated or manual — so a
+// targeted injection during a churned run is still held down for
+// ~MTTR rather than auto-repaired at the next interval boundary.
+func (c *Cluster) armRepair(i int) {
+	if c.cfg.MTBF <= 0 {
+		return
+	}
+	c.repairAt[i] = c.now + units.Seconds(c.churnRNG.ExpFloat64(1/float64(c.cfg.MTTR)))
+}
+
+// armFailure draws a live server's next time-to-failure. Called from
+// Repair for every repair — churn or manual — so a manually repaired
+// server gets a fresh MTBF draw instead of re-crashing on its stale,
+// already-passed deadline.
+func (c *Cluster) armFailure(i int) {
+	if c.cfg.MTBF <= 0 {
+		return
+	}
+	c.failAt[i] = c.now + units.Seconds(c.churnRNG.ExpFloat64(1/float64(c.cfg.MTBF)))
+}
+
+// stepChurn advances the failure–repair process to the current
+// simulation time: servers whose repair deadline passed rejoin (empty,
+// in C0, with a fresh time-to-failure drawn by Repair); live servers
+// whose failure deadline passed crash — their workload re-placed or
+// lost through FailServer, which draws the time-to-repair. Servers are
+// visited in ID order so the draw sequence is a pure function of the
+// cluster state.
+//
+// A server repaired here is live for the balance pass of the same
+// interval (the leader immediately sees the fresh capacity); a server
+// failed here is excluded from it — FailServer marks it before the
+// plan's active checks run.
+func (c *Cluster) stepChurn() error {
+	if c.cfg.MTBF <= 0 {
+		return nil
+	}
+	for i, s := range c.servers {
+		if c.failed[i] {
+			if c.now >= c.repairAt[i] {
+				if err := c.Repair(s.ID()); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if c.now < c.failAt[i] {
+			continue
+		}
+		if _, _, err := c.FailServer(s.ID()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -147,6 +147,20 @@ type Config struct {
 	SlackFactor float64
 	// ReservationQuantum is the step hypervisor CPU reservations grow in.
 	ReservationQuantum float64
+	// MTBF enables the stochastic churn process: while positive, every
+	// live server draws an exponential time-to-failure with this mean
+	// (seconds) from the cluster's dedicated churn stream, and crashes —
+	// orphaned workload re-placed by the leader, unplaceable applications
+	// lost — when the deadline passes at an interval boundary. Zero (the
+	// default) disables churn entirely; manual FailServer/Repair calls
+	// still work either way.
+	MTBF units.Seconds
+	// MTTR is the churn process's mean time to repair (seconds): every
+	// crashed server draws an exponential down time and rejoins empty in
+	// C0 once it elapses. Required (positive) whenever MTBF is set;
+	// ignored while churn is disabled, so an MTBF sweep can include the
+	// mtbf=0 baseline against a fixed MTTR.
+	MTTR units.Seconds
 	// Ranges are the regime-boundary sampling intervals.
 	Ranges regime.PaperRanges
 	// OnInterval, when non-nil, is invoked synchronously with the
@@ -225,6 +239,12 @@ func (c Config) Validate() error {
 	if c.ReservationQuantum <= 0 || c.ReservationQuantum > 1 {
 		return fmt.Errorf("cluster: reservation quantum %v outside (0,1]", c.ReservationQuantum)
 	}
+	if c.MTBF < 0 || c.MTTR < 0 {
+		return fmt.Errorf("cluster: negative churn parameters mtbf=%v mttr=%v", c.MTBF, c.MTTR)
+	}
+	if c.MTBF > 0 && c.MTTR <= 0 {
+		return fmt.Errorf("cluster: churn (MTBF %v) needs a positive MTTR", c.MTBF)
+	}
 	if err := c.Migration.Validate(); err != nil {
 		return err
 	}
@@ -269,6 +289,25 @@ type Cluster struct {
 	failedCount int
 	failures    int
 
+	// Resilience counters (cumulative, like failures): repairs performed,
+	// orphaned applications re-placed on survivors, and applications lost
+	// because no survivor could take them.
+	repairs      int
+	appsReplaced int
+	appsLost     int
+
+	// Stochastic churn state (churn.go): the dedicated failure/repair
+	// stream plus per-server exponential deadlines, densely indexed by
+	// server ID. Inactive (no draws, no deadlines) unless cfg.MTBF > 0.
+	churnRNG *xrand.Rand
+	failAt   []units.Seconds
+	repairAt []units.Seconds
+
+	// wakeEvents holds each server's pending wake-completion event so a
+	// crash mid-wake can cancel it (a crashed server never finishes its
+	// setup). Zero Handles are armed-nothing.
+	wakeEvents []eventsim.Handle
+
 	// Arenas and scratch buffers reused across Rebuilds and intervals.
 	appArena      arena[app.App]
 	vmArena       arena[vm.VM]
@@ -307,6 +346,10 @@ func (c *Cluster) Rebuild(cfg Config) error {
 	loadRNG := root.Split()
 	appRNG := root.Split()
 	evolveRNG := root.Split()
+	// The churn stream splits last so every pre-churn stream keeps the
+	// exact seed it had before churn existed — the golden digests for
+	// churn-disabled runs pin that.
+	churnRNG := root.Split()
 
 	if c.net == nil {
 		net, err := netsim.New(cfg.Size, cfg.Net)
@@ -346,8 +389,19 @@ func (c *Cluster) Rebuild(cfg Config) error {
 	c.nextVMID = 1
 	c.failedCount = 0
 	c.failures = 0
+	c.repairs = 0
+	c.appsReplaced = 0
+	c.appsLost = 0
 	c.failed = resize(c.failed, cfg.Size)
 	clear(c.failed)
+	c.churnRNG = churnRNG
+	c.failAt = resize(c.failAt, cfg.Size)
+	c.repairAt = resize(c.repairAt, cfg.Size)
+	clear(c.failAt)
+	clear(c.repairAt)
+	c.wakeEvents = resize(c.wakeEvents, cfg.Size)
+	clear(c.wakeEvents)
+	c.seedChurn()
 	c.leader.init(cfg.Size)
 	c.appArena.reset()
 	c.vmArena.reset()

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"ealb/internal/eventsim"
 	"ealb/internal/scaling"
 	"ealb/internal/server"
 )
@@ -28,16 +29,26 @@ func (c *Cluster) FailServer(id server.ID) (replaced, lost int, err error) {
 	if c.failed[id] {
 		return 0, 0, fmt.Errorf("cluster: server %d already failed", id)
 	}
-	// Close the energy account at the crash instant; afterwards the
+	// Close the energy account at the crash instant — at the sleep-state
+	// draw if the server was parked — and reconcile the ACPI manager: an
+	// in-flight sleep entry or wake-up is abandoned (the hardware lost
+	// power mid-transition) so the server provably rejoins in C0 with no
+	// transition armed when Repair returns it to service. Afterwards the
 	// server draws nothing.
-	if !s.Sleeping() {
-		if _, err := s.AccountTo(c.now); err != nil {
-			return 0, 0, err
-		}
+	if err := s.Crash(c.now); err != nil {
+		return 0, 0, err
 	}
+	// A crash mid-wake also never completes its setup: drop the pending
+	// wake-completion event so WakesCompleted does not count a server
+	// that died before coming up.
+	c.wakeEvents[id].Cancel()
+	c.wakeEvents[id] = eventsim.Handle{}
 	c.failed[id] = true
 	c.failedCount++
 	c.failures++
+	// Under churn every failure — stochastic or manual — holds the
+	// server down for an exponential ~MTTR repair time.
+	c.armRepair(int(id))
 
 	// Orphaned workload: the leader re-places what it can.
 	for _, h := range s.Hosted() {
@@ -62,10 +73,14 @@ func (c *Cluster) FailServer(id server.ID) (replaced, lost int, err error) {
 		c.ledger.Record(scaling.Horizontal, 1)
 		replaced++
 	}
+	c.appsReplaced += replaced
+	c.appsLost += lost
 	return replaced, lost, nil
 }
 
-// Repair returns a failed server to service: powered on, empty, in C0.
+// Repair returns a failed server to service: powered on, empty, in C0
+// with no ACPI transition armed (FailServer reconciled the manager at
+// crash time, even for servers that died asleep or mid-transition).
 // The powered-off gap is skipped in its energy account.
 func (c *Cluster) Repair(id server.ID) error {
 	s, err := c.serverByID(id)
@@ -80,6 +95,10 @@ func (c *Cluster) Repair(id server.ID) error {
 	}
 	c.failed[id] = false
 	c.failedCount--
+	c.repairs++
+	// Under churn the rejoiner draws a fresh ~MTBF time-to-failure (its
+	// old deadline has necessarily passed — it just crashed on it).
+	c.armFailure(int(id))
 	return nil
 }
 
@@ -93,6 +112,17 @@ func (c *Cluster) FailedCount() int { return c.failedCount }
 
 // Failures returns the cumulative number of injected failures.
 func (c *Cluster) Failures() int { return c.failures }
+
+// Repairs returns the cumulative number of repairs performed.
+func (c *Cluster) Repairs() int { return c.repairs }
+
+// AppsReplaced returns how many orphaned applications failures have
+// re-placed on surviving servers, cumulatively.
+func (c *Cluster) AppsReplaced() int { return c.appsReplaced }
+
+// AppsLost returns how many applications failures have dropped because
+// no surviving server could take them, cumulatively.
+func (c *Cluster) AppsLost() int { return c.appsLost }
 
 func (c *Cluster) serverByID(id server.ID) (*server.Server, error) {
 	if int(id) < 0 || int(id) >= len(c.servers) {

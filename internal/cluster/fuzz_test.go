@@ -39,6 +39,7 @@ func FuzzPlanBalance(f *testing.F) {
 	f.Add(uint64(42), uint64(17), uint64(0x1_00_05))
 	f.Add(uint64(0), uint64(2), uint64(0xff_ff_ff))
 	f.Add(uint64(0x8000000000000000), uint64(100), uint64(0x1_00_00)) // high-bit seed + failures
+	f.Add(uint64(2014), uint64(120), uint64(0x3_02_04))               // churn + warm-up + failures
 
 	f.Fuzz(func(t *testing.T, seed, sizeRaw, knobs uint64) {
 		size := 2 + int(sizeRaw%149) // 2..150
@@ -53,6 +54,13 @@ func FuzzPlanBalance(f *testing.F) {
 		cfg := DefaultConfig(size, band, seed)
 		if knobs&2 != 0 {
 			cfg.Sleep = SleepC6Only
+		}
+		if knobs&4 != 0 {
+			// Aggressive stochastic churn: the warm-up intervals then plan
+			// against a snapshot with organically failed and repaired
+			// servers, not just the manual injections below.
+			cfg.MTBF = 10 * cfg.Tau
+			cfg.MTTR = 3 * cfg.Tau
 		}
 		c, err := New(cfg)
 		if err != nil {
@@ -98,6 +106,20 @@ func FuzzPlanBalance(f *testing.F) {
 			}
 			if s.NumApps() != 0 {
 				t.Fatalf("slept server %d still hosts %d apps", a.src, s.NumApps())
+			}
+		}
+		// Failed-server exclusion holds through churn and apply: no failed
+		// server hosts anything, reads as sleeping, or has a transition
+		// armed (a crash abandons in-flight ACPI transitions).
+		for i, s := range c.servers {
+			if !c.failed[i] {
+				continue
+			}
+			if s.NumApps() != 0 {
+				t.Fatalf("failed server %d hosts %d apps after apply", i, s.NumApps())
+			}
+			if s.Sleeping() || s.CStateBusy(c.Now()) {
+				t.Fatalf("failed server %d has ACPI state %v (busy=%v)", i, s.CState(), s.CStateBusy(c.Now()))
 			}
 		}
 	})

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"ealb/internal/eventsim"
 	"ealb/internal/migration"
 	"ealb/internal/netsim"
 	"ealb/internal/regime"
@@ -31,6 +32,23 @@ type IntervalStats struct {
 	// SLAViolations counts servers whose raw demand exceeded capacity.
 	SLAViolations int
 	ClusterLoad   units.Fraction
+	// Resilience fields. Failures/Repairs count this interval's churn (or
+	// manual) failure and repair events; AppsReplaced/AppsLost are the
+	// orphaned applications re-placed on survivors and dropped for lack
+	// of capacity; FailedCount is how many servers are down at the end of
+	// the interval. All omit when zero so churn-free runs keep their
+	// historical JSON encoding — the golden digests pin it.
+	Failures     int `json:",omitempty"`
+	Repairs      int `json:",omitempty"`
+	AppsReplaced int `json:",omitempty"`
+	AppsLost     int `json:",omitempty"`
+	FailedCount  int `json:",omitempty"`
+	// Availability is the live-server fraction 1 − FailedCount/Size at
+	// the end of the interval. It is reported only for churned runs
+	// (cfg.MTBF > 0): a churn-free interval omits it rather than
+	// emitting a constant 1. The pointer keeps an all-down churned
+	// interval honest — availability 0 is emitted, not omitted.
+	Availability *float64 `json:",omitempty"`
 	// IntervalEnergy is the energy spent during this interval.
 	IntervalEnergy units.Joules
 	// AvgQCost, AvgPCost and AvgJCost are the fleet averages of the §4
@@ -125,6 +143,15 @@ func (c *Cluster) runInterval(now units.Seconds) (IntervalStats, error) {
 		return IntervalStats{}, err
 	}
 
+	// The churn process steps once per interval, after demand evolution
+	// and before the leader pass, so the plan runs against the post-churn
+	// fleet: fresh failures are excluded, fresh repairs are acceptors.
+	failures0, repairs0 := c.failures, c.repairs
+	replaced0, lost0 := c.appsReplaced, c.appsLost
+	if err := c.stepChurn(); err != nil {
+		return IntervalStats{}, err
+	}
+
 	woken, err := c.balance()
 	if err != nil {
 		return IntervalStats{}, err
@@ -147,12 +174,21 @@ func (c *Cluster) runInterval(now units.Seconds) (IntervalStats, error) {
 	}
 
 	st := IntervalStats{
-		Index:       c.interval,
-		EndTime:     c.now,
-		Regimes:     c.RegimeCounts(),
-		Sleeping:    c.SleepingCount(),
-		Woken:       woken,
-		ClusterLoad: c.ClusterLoad(),
+		Index:        c.interval,
+		EndTime:      c.now,
+		Regimes:      c.RegimeCounts(),
+		Sleeping:     c.SleepingCount(),
+		Woken:        woken,
+		ClusterLoad:  c.ClusterLoad(),
+		Failures:     c.failures - failures0,
+		Repairs:      c.repairs - repairs0,
+		AppsReplaced: c.appsReplaced - replaced0,
+		AppsLost:     c.appsLost - lost0,
+		FailedCount:  c.failedCount,
+	}
+	if c.cfg.MTBF > 0 {
+		avail := float64(c.cfg.Size-c.failedCount) / float64(c.cfg.Size)
+		st.Availability = &avail
 	}
 	for _, s := range c.servers {
 		if !s.Sleeping() && s.RawDemand() > 1+1e-9 {
@@ -425,8 +461,13 @@ func (c *Cluster) applyBalance(plan *balancePlan) error {
 			c.totalWakes++
 			// The setup completes asynchronously — possibly several
 			// reallocation intervals later for a C6 wake (260 s vs
-			// τ = 60 s).
-			c.sim.Schedule(ready, func(units.Seconds) { c.wakesCompleted++ })
+			// τ = 60 s). The handle is kept per server so a crash
+			// mid-wake cancels the completion.
+			id := a.src
+			c.wakeEvents[id] = c.sim.Schedule(ready, func(units.Seconds) {
+				c.wakesCompleted++
+				c.wakeEvents[id] = eventsim.Handle{}
+			})
 		case actSleep:
 			s, err := c.serverByID(a.src)
 			if err != nil {

@@ -2,11 +2,15 @@ package engine
 
 import (
 	"fmt"
-	"math"
+
+	"ealb/internal/stats"
 )
 
 // Stat is the four-number summary of one metric across a group of cells.
-// StdDev is the sample standard deviation (zero for a single cell).
+// StdDev is the sample (n−1) standard deviation — the group's cells are
+// a seed sample from the scenario's run distribution, not the
+// population, so the unbiased estimator is the right one — and it is
+// zero for a single cell, matching stats.Running.SampleStdDev.
 type Stat struct {
 	Mean   float64 `json:"mean"`
 	Min    float64 `json:"min"`
@@ -14,28 +18,19 @@ type Stat struct {
 	StdDev float64 `json:"stddev"`
 }
 
-// statOf summarizes xs. An empty slice yields the zero Stat.
+// statOf summarizes xs through the stats package's running moments, so
+// the aggregate layer shares one standard-deviation definition with the
+// rest of the repository instead of hand-rolling its own. An empty
+// slice yields the zero Stat.
 func statOf(xs []float64) Stat {
 	if len(xs) == 0 {
 		return Stat{}
 	}
-	st := Stat{Min: math.Inf(1), Max: math.Inf(-1)}
-	var sum float64
+	var r stats.Running
 	for _, x := range xs {
-		sum += x
-		st.Min = math.Min(st.Min, x)
-		st.Max = math.Max(st.Max, x)
+		r.Add(x)
 	}
-	st.Mean = sum / float64(len(xs))
-	if len(xs) > 1 {
-		var ss float64
-		for _, x := range xs {
-			d := x - st.Mean
-			ss += d * d
-		}
-		st.StdDev = math.Sqrt(ss / float64(len(xs)-1))
-	}
-	return st
+	return Stat{Mean: r.Mean(), Min: r.Min(), Max: r.Max(), StdDev: r.SampleStdDev()}
 }
 
 // Aggregate summarizes every cell of one parameter combination — the
@@ -55,46 +50,74 @@ type Aggregate struct {
 	Energy        Stat `json:"energy"`
 	JoulesSaved   Stat `json:"joules_saved"`
 	SLAViolations Stat `json:"sla_violations"`
+	// AppsLost and Availability summarize the resilience of churned
+	// groups: applications lost to failures per run, and the mean
+	// live-server fraction (identically 1 for churn-free groups).
+	AppsLost     Stat `json:"apps_lost"`
+	Availability Stat `json:"availability"`
 }
 
-// groupKey buckets a cell by everything except its seed.
+// groupKey buckets a cell by everything except its seed. Churn scalars
+// append only when set, so churn-free sweeps keep their historical
+// group names.
 func groupKey(s Scenario) string {
+	key := ""
 	switch s.Kind {
 	case KindPolicy:
 		return fmt.Sprintf("profile=%s servers=%d", s.Profile, s.Servers)
 	case KindFarm:
-		return fmt.Sprintf("clusters=%d size=%d band=%s sleep=%s dispatch=%s",
+		key = fmt.Sprintf("clusters=%d size=%d band=%s sleep=%s dispatch=%s",
 			s.Clusters, s.Size, s.Band, s.Sleep, s.Dispatch)
 	default:
-		return fmt.Sprintf("size=%d band=%s sleep=%s", s.Size, s.Band, s.Sleep)
+		key = fmt.Sprintf("size=%d band=%s sleep=%s", s.Size, s.Band, s.Sleep)
 	}
+	if s.MTBF != nil {
+		key += fmt.Sprintf(" mtbf=%g", *s.MTBF)
+	}
+	if s.MTTR != nil {
+		key += fmt.Sprintf(" mttr=%g", *s.MTTR)
+	}
+	return key
 }
 
-// metrics extracts the aggregated metrics of one cell result.
-func (r Result) metrics() (energy, saved, sla float64) {
+// cellMetrics are the aggregated metrics of one cell result.
+type cellMetrics struct {
+	energy, saved, sla float64
+	lost, availability float64
+}
+
+// metrics extracts the aggregated metrics of one cell result. Policy
+// runs have no failure process, so they report no losses and full
+// availability.
+func (r Result) metrics() cellMetrics {
+	m := cellMetrics{availability: 1}
 	switch r.Kind {
 	case KindPolicy:
 		for _, pr := range r.Policies {
-			energy += float64(pr.Energy)
-			sla += float64(pr.ViolationSlots)
+			m.energy += float64(pr.Energy)
+			m.sla += float64(pr.ViolationSlots)
 		}
 	case KindFarm:
 		if r.Farm != nil {
-			energy = r.Farm.Energy
+			m.energy = r.Farm.Energy
 			for _, st := range r.Farm.Stats {
-				sla += float64(st.SLAViolations)
+				m.sla += float64(st.SLAViolations)
 			}
+			m.lost = float64(r.Farm.AppsLost)
+			m.availability = r.Farm.Availability
 		}
 	default:
 		if r.Cluster != nil {
-			energy = r.Cluster.Energy
+			m.energy = r.Cluster.Energy
 			for _, st := range r.Cluster.Stats {
-				sla += float64(st.SLAViolations)
+				m.sla += float64(st.SLAViolations)
 			}
+			m.lost = float64(r.Cluster.AppsLost)
+			m.availability = r.Cluster.Availability
 		}
-		saved = r.JoulesSaved
+		m.saved = r.JoulesSaved
 	}
-	return energy, saved, sla
+	return m
 }
 
 // Aggregates groups cell results by parameter combination (everything
@@ -102,6 +125,7 @@ func (r Result) metrics() (energy, saved, sla float64) {
 func Aggregates(cells []Result) []Aggregate {
 	type bucket struct {
 		energy, saved, sla []float64
+		lost, avail        []float64
 	}
 	order := make([]string, 0, len(cells))
 	groups := make(map[string]*bucket)
@@ -113,10 +137,12 @@ func Aggregates(cells []Result) []Aggregate {
 			groups[key] = b
 			order = append(order, key)
 		}
-		energy, saved, sla := c.metrics()
-		b.energy = append(b.energy, energy)
-		b.saved = append(b.saved, saved)
-		b.sla = append(b.sla, sla)
+		m := c.metrics()
+		b.energy = append(b.energy, m.energy)
+		b.saved = append(b.saved, m.saved)
+		b.sla = append(b.sla, m.sla)
+		b.lost = append(b.lost, m.lost)
+		b.avail = append(b.avail, m.availability)
 	}
 	out := make([]Aggregate, 0, len(order))
 	for _, key := range order {
@@ -127,6 +153,8 @@ func Aggregates(cells []Result) []Aggregate {
 			Energy:        statOf(b.energy),
 			JoulesSaved:   statOf(b.saved),
 			SLAViolations: statOf(b.sla),
+			AppsLost:      statOf(b.lost),
+			Availability:  statOf(b.avail),
 		})
 	}
 	return out

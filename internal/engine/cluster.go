@@ -22,6 +22,15 @@ type ClusterRun struct {
 	StdRatio  float64 // Table 2 "Standard deviation"
 	Energy    float64 // total Joules
 	Wakes     int
+	// Resilience measurements (all zero — availability 1 — for
+	// churn-free runs): cumulative failures/repairs, orphaned
+	// applications re-placed and lost, and the mean live-server fraction
+	// across intervals.
+	Failures     int
+	Repairs      int
+	AppsReplaced int
+	AppsLost     int
+	Availability float64
 }
 
 // RunCluster executes the §5 experiment for one cluster size and load
@@ -61,6 +70,15 @@ func measureCluster(ctx context.Context, c *cluster.Cluster, size int, band work
 	run.MeanRatio = c.Ledger().MeanRatio()
 	run.StdRatio = c.Ledger().StdDevRatio()
 	run.Energy = float64(c.TotalEnergy())
+	run.Failures = c.Failures()
+	run.Repairs = c.Repairs()
+	run.AppsReplaced = c.AppsReplaced()
+	run.AppsLost = c.AppsLost()
+	var avail float64
+	for _, s := range st {
+		avail += 1 - float64(s.FailedCount)/float64(size)
+	}
+	run.Availability = avail / float64(len(st))
 	return run, nil
 }
 
@@ -163,6 +181,7 @@ func (p *Pool) SweepCluster(ctx context.Context, jobs []ClusterJob) ([]ClusterRu
 		out[i] = run
 		p.addJoules(run.Energy)
 		p.addIntervals(uint64(len(run.Stats)))
+		p.addResilience(run.Failures, run.AppsLost)
 		return nil
 	})
 	if err != nil {

@@ -26,6 +26,15 @@ type FarmRun struct {
 	Energy     float64 // total Joules, farm-wide
 	Wakes      int
 	Migrations int
+	// Resilience measurements (all zero — availability 1 — for
+	// churn-free runs): cumulative farm-wide failures/repairs, orphaned
+	// applications re-placed and lost, and the mean live-server fraction
+	// across intervals.
+	Failures     int
+	Repairs      int
+	AppsReplaced int
+	AppsLost     int
+	Availability float64
 }
 
 // farmRegimes sums the per-cluster awake regime counts.
@@ -82,6 +91,16 @@ func measureFarm(ctx context.Context, f *farm.Farm, intervals int, r farm.Runner
 	}
 	run.AvgAsleep = asleep / float64(len(st))
 	run.Energy = float64(f.TotalEnergy())
+	run.Failures = f.Failures()
+	run.Repairs = f.Repairs()
+	run.AppsReplaced = f.AppsReplaced()
+	run.AppsLost = f.AppsLost()
+	total := float64(cfg.Clusters * cfg.Cluster.Size)
+	var avail float64
+	for _, s := range st {
+		avail += 1 - float64(s.FailedCount)/total
+	}
+	run.Availability = avail / float64(len(st))
 	return run, nil
 }
 
@@ -132,6 +151,7 @@ func (p *Pool) runFarmCells(ctx context.Context, cells []Scenario, results []Res
 		results[ci] = Result{Kind: cell.Kind, Scenario: cell, Farm: &run}
 		p.addJoules(run.Energy)
 		p.addIntervals(uint64(len(run.Stats) * cfg.Clusters))
+		p.addResilience(run.Failures, run.AppsLost)
 		return nil
 	}
 	if len(cells) == 1 {
@@ -163,5 +183,6 @@ func (s Scenario) farmSimConfig() (farm.Config, error) {
 		cfg.ArrivalRate = *s.ArrivalRate
 	}
 	cfg.Cluster.Sleep = sleep
+	s.applyChurn(&cfg.Cluster)
 	return cfg, nil
 }

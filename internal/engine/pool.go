@@ -57,6 +57,9 @@ type Pool struct {
 
 	intervalsSimulated atomic.Uint64 // reallocation intervals completed by cluster jobs
 
+	clusterFailures atomic.Uint64 // server failures injected by completed cluster/farm jobs
+	clusterAppsLost atomic.Uint64 // applications lost to failures by completed cluster/farm jobs
+
 	joules      atomicFloat // total simulated energy across completed jobs
 	joulesSaved atomicFloat // simulated savings vs always-on baselines
 
@@ -100,6 +103,12 @@ type Stats struct {
 	// over it is intervals/second, the number the leader-state refactor
 	// moves).
 	IntervalsSimulated uint64
+	// ClusterFailures counts server failures injected by completed
+	// cluster and farm jobs (the churn process plus manual injection);
+	// ClusterAppsLost counts applications those failures dropped because
+	// no surviving server could take them.
+	ClusterFailures uint64
+	ClusterAppsLost uint64
 	// SimulatedJoules is the total energy simulated by completed jobs.
 	SimulatedJoules float64
 	// JoulesSaved accumulates (always-on − energy-aware) energy from
@@ -119,6 +128,8 @@ func (p *Pool) Stats() Stats {
 		RunsCompleted:      p.runsCompleted.Load(),
 		RunsFailed:         p.runsFailed.Load(),
 		IntervalsSimulated: p.intervalsSimulated.Load(),
+		ClusterFailures:    p.clusterFailures.Load(),
+		ClusterAppsLost:    p.clusterAppsLost.Load(),
 		SimulatedJoules:    p.joules.Load(),
 		JoulesSaved:        p.joulesSaved.Load(),
 	}
@@ -222,6 +233,12 @@ func (p *Pool) addJoules(j float64) { p.joules.Add(j) }
 
 // addIntervals accounts completed reallocation intervals.
 func (p *Pool) addIntervals(n uint64) { p.intervalsSimulated.Add(n) }
+
+// addResilience accounts a completed job's failure and loss counts.
+func (p *Pool) addResilience(failures, appsLost int) {
+	p.clusterFailures.Add(uint64(failures))
+	p.clusterAppsLost.Add(uint64(appsLost))
+}
 
 // addSaved accounts simulated savings versus an always-on baseline.
 func (p *Pool) addSaved(j float64) {

@@ -21,6 +21,12 @@ const (
 	DefaultSeed uint64 = 2014
 	// DefaultIntervals is the experiment length from §5.
 	DefaultIntervals = 40
+	// DefaultMTTRSeconds is the mean repair time a churned scenario gets
+	// when it sets mtbf but leaves mttr absent: five reallocation
+	// intervals at the default τ = 60 s — long enough that a failure is
+	// felt across several leader passes, short enough that the fleet
+	// recovers within a standard 40-interval run.
+	DefaultMTTRSeconds = 300.0
 )
 
 // Resource caps on a single scenario. The service executes arbitrary
@@ -103,6 +109,18 @@ type Scenario struct {
 	Dispatch    string   `json:"dispatch,omitempty"`
 	ArrivalRate *float64 `json:"arrival_rate,omitempty"`
 
+	// Churn (cluster and farm scenarios): MTBF and MTTR, in seconds,
+	// drive the stochastic failure–repair process on every simulated
+	// cluster — exponential time-to-failure per live server, exponential
+	// time-to-repair per failed server. An absent or zero mtbf disables
+	// churn; a positive mtbf with an absent mttr selects the default
+	// repair time (DefaultMTTRSeconds); an mttr with churn disabled is
+	// inert (the mtbf=0 baseline of an MTBF sweep carries the axis's
+	// fixed mttr). The pointers distinguish absent fields from explicit
+	// zeros, like Seed and ArrivalRate; build them with RateOf.
+	MTBF *float64 `json:"mtbf,omitempty"`
+	MTTR *float64 `json:"mttr,omitempty"`
+
 	// Policy scenarios (§3).
 	//
 	// Profile names the arrival-rate profile (workload.ProfileNames:
@@ -147,6 +165,9 @@ func (s Scenario) Normalized() Scenario {
 	case KindCluster, KindFarm:
 		if s.Size == 0 {
 			s.Size = 100
+		}
+		if s.MTBF != nil && *s.MTBF > 0 && s.MTTR == nil {
+			s.MTTR = RateOf(DefaultMTTRSeconds)
 		}
 		if s.Band == "" {
 			s.Band = "low"
@@ -198,6 +219,19 @@ func (s Scenario) Validate() error {
 		if _, err := ParseSleepPolicy(s.Sleep); err != nil {
 			return err
 		}
+		mtbf, mttr := 0.0, 0.0
+		if s.MTBF != nil {
+			mtbf = *s.MTBF
+		}
+		if s.MTTR != nil {
+			mttr = *s.MTTR
+		}
+		if mtbf < 0 || mttr < 0 {
+			return fmt.Errorf("engine: %s scenario needs non-negative mtbf/mttr, got %v/%v", s.Kind, mtbf, mttr)
+		}
+		if mtbf > 0 && mttr <= 0 {
+			return fmt.Errorf("engine: churn (mtbf=%v) needs a positive mttr", mtbf)
+		}
 		if s.Kind == KindFarm {
 			if s.Clusters < 1 || s.Clusters > MaxScenarioClusters {
 				return fmt.Errorf("engine: farm scenario needs 1 <= clusters <= %d, got %d", MaxScenarioClusters, s.Clusters)
@@ -243,6 +277,18 @@ func (s Scenario) farmConfig() policy.FarmConfig {
 		cfg.Horizon = units.Seconds(s.HorizonSeconds)
 	}
 	return cfg
+}
+
+// applyChurn copies the scenario's churn scalars into a cluster
+// configuration (shared by cluster cells, their baseline-comparison
+// runs, and the per-cluster template of farm cells).
+func (s Scenario) applyChurn(cfg *cluster.Config) {
+	if s.MTBF != nil {
+		cfg.MTBF = units.Seconds(*s.MTBF)
+	}
+	if s.MTTR != nil {
+		cfg.MTTR = units.Seconds(*s.MTTR)
+	}
 }
 
 // ParseBand converts a scenario band spec — "low", "high" or "lo-hi" with

@@ -23,15 +23,15 @@ const MaxScenarioJobs = 4096
 // scalar is simply a one-element axis. Giving both the scalar and the
 // list form of the same axis is an error.
 //
-// Cluster axes: Seeds, Sizes, Bands, Sleeps. Farm axes: the cluster
-// axes (sizing each member cluster) plus ClusterCounts and Dispatches.
-// Policy axes: Seeds, Profiles, ServerCounts. Cells expand in
-// deterministic order — the rightmost axis varies fastest: sizes →
-// bands → sleeps → seeds → replications for cluster sweeps, with
-// cluster counts → dispatches inserted before seeds for farm sweeps,
-// and profiles → server counts → seeds → replications for policy
-// sweeps — and every cell records its fully normalized Scenario, so any
-// cell can be re-run individually with a bit-identical result.
+// Cluster axes: Seeds, Sizes, Bands, Sleeps, MTBFs, MTTRs. Farm axes:
+// the cluster axes (sizing each member cluster) plus ClusterCounts and
+// Dispatches. Policy axes: Seeds, Profiles, ServerCounts. Cells expand
+// in deterministic order — the rightmost axis varies fastest: sizes →
+// bands → sleeps → mtbfs → mttrs → seeds → replications for cluster
+// sweeps, with cluster counts → dispatches inserted before seeds for
+// farm sweeps, and profiles → server counts → seeds → replications for
+// policy sweeps — and every cell records its fully normalized Scenario,
+// so any cell can be re-run individually with a bit-identical result.
 type SweepSpec struct {
 	Scenario
 
@@ -44,6 +44,12 @@ type SweepSpec struct {
 	Sizes  []int    `json:"sizes,omitempty"`
 	Bands  []string `json:"bands,omitempty"`
 	Sleeps []string `json:"sleeps,omitempty"`
+
+	// Churn axes (cluster and farm sweeps), in seconds — the
+	// availability-under-failure panels sweep these. Entries of 0
+	// disable churn for that cell.
+	MTBFs []float64 `json:"mtbfs,omitempty"`
+	MTTRs []float64 `json:"mttrs,omitempty"`
 
 	// Farm axes.
 	ClusterCounts []int    `json:"cluster_counts,omitempty"`
@@ -63,7 +69,8 @@ type SweepSpec struct {
 // request: no list axis and no replication fan-out.
 func (sp SweepSpec) SingleRun() bool {
 	return len(sp.Seeds) == 0 && len(sp.Sizes) == 0 && len(sp.Bands) == 0 &&
-		len(sp.Sleeps) == 0 && len(sp.ClusterCounts) == 0 && len(sp.Dispatches) == 0 &&
+		len(sp.Sleeps) == 0 && len(sp.MTBFs) == 0 && len(sp.MTTRs) == 0 &&
+		len(sp.ClusterCounts) == 0 && len(sp.Dispatches) == 0 &&
 		len(sp.Profiles) == 0 && len(sp.ServerCounts) == 0 &&
 		sp.Replications <= 1
 }
@@ -80,6 +87,8 @@ func (sp SweepSpec) axisConflicts() error {
 		{"size", "sizes", sp.Scenario.Size != 0 && len(sp.Sizes) > 0},
 		{"band", "bands", sp.Scenario.Band != "" && len(sp.Bands) > 0},
 		{"sleep", "sleeps", sp.Scenario.Sleep != "" && len(sp.Sleeps) > 0},
+		{"mtbf", "mtbfs", sp.Scenario.MTBF != nil && len(sp.MTBFs) > 0},
+		{"mttr", "mttrs", sp.Scenario.MTTR != nil && len(sp.MTTRs) > 0},
 		{"clusters", "cluster_counts", sp.Scenario.Clusters != 0 && len(sp.ClusterCounts) > 0},
 		{"dispatch", "dispatches", sp.Scenario.Dispatch != "" && len(sp.Dispatches) > 0},
 		{"profile", "profiles", sp.Scenario.Profile != "" && len(sp.Profiles) > 0},
@@ -174,8 +183,8 @@ func (sp SweepSpec) Expand() (ExpandedSweep, error) {
 			perCellJobs = 2
 		}
 	case KindPolicy:
-		if len(sp.Sizes) > 0 || len(sp.Bands) > 0 || len(sp.Sleeps) > 0 {
-			return fail(fmt.Errorf(`engine: "sizes"/"bands"/"sleeps" are cluster axes; this is a %q sweep`, sp.Kind))
+		if len(sp.Sizes) > 0 || len(sp.Bands) > 0 || len(sp.Sleeps) > 0 || len(sp.MTBFs) > 0 || len(sp.MTTRs) > 0 {
+			return fail(fmt.Errorf(`engine: "sizes"/"bands"/"sleeps"/"mtbfs"/"mttrs" are cluster axes; this is a %q sweep`, sp.Kind))
 		}
 		if len(sp.ClusterCounts) > 0 || len(sp.Dispatches) > 0 {
 			return fail(fmt.Errorf(`engine: "cluster_counts"/"dispatches" are farm axes; this is a %q sweep`, sp.Kind))
@@ -199,6 +208,7 @@ func (sp SweepSpec) Expand() (ExpandedSweep, error) {
 	jobs := perCellJobs
 	for _, factor := range []int{
 		len(sp.Seeds), len(sp.Sizes), len(sp.Bands), len(sp.Sleeps),
+		len(sp.MTBFs), len(sp.MTTRs),
 		len(sp.ClusterCounts), len(sp.Dispatches),
 		len(sp.Profiles), len(sp.ServerCounts), sp.Replications,
 	} {
@@ -210,6 +220,14 @@ func (sp SweepSpec) Expand() (ExpandedSweep, error) {
 		}
 		jobs *= factor
 	}
+
+	// The churn axes expand like the others but keep "absent" absent: an
+	// explicit list iterates its entries, while a missing list is a
+	// single-cell axis carrying the scalar (possibly nil, i.e. churn
+	// disabled) — so a pre-churn request body expands to exactly its
+	// historical cells, recorded scenarios included.
+	mtbfAxis := churnAxis(sp.Scenario.MTBF, sp.MTBFs)
+	mttrAxis := churnAxis(sp.Scenario.MTTR, sp.MTTRs)
 
 	var cells []Scenario
 	addCell := func(c Scenario) error {
@@ -229,12 +247,17 @@ func (sp SweepSpec) Expand() (ExpandedSweep, error) {
 		for _, size := range sp.Sizes {
 			for _, band := range sp.Bands {
 				for _, sleep := range sp.Sleeps {
-					for _, seed := range sp.Seeds {
-						cell := sp.Scenario
-						cell.Size, cell.Band, cell.Sleep = size, band, sleep
-						cell.Seed = SeedOf(seed)
-						if err := addCell(cell); err != nil {
-							return fail(err)
+					for _, mtbf := range mtbfAxis {
+						for _, mttr := range mttrAxis {
+							for _, seed := range sp.Seeds {
+								cell := sp.Scenario
+								cell.Size, cell.Band, cell.Sleep = size, band, sleep
+								cell.MTBF, cell.MTTR = copyRate(mtbf), copyRate(mttr)
+								cell.Seed = SeedOf(seed)
+								if err := addCell(cell); err != nil {
+									return fail(err)
+								}
+							}
 						}
 					}
 				}
@@ -244,15 +267,20 @@ func (sp SweepSpec) Expand() (ExpandedSweep, error) {
 		for _, size := range sp.Sizes {
 			for _, band := range sp.Bands {
 				for _, sleep := range sp.Sleeps {
-					for _, clusters := range sp.ClusterCounts {
-						for _, dispatch := range sp.Dispatches {
-							for _, seed := range sp.Seeds {
-								cell := sp.Scenario
-								cell.Size, cell.Band, cell.Sleep = size, band, sleep
-								cell.Clusters, cell.Dispatch = clusters, dispatch
-								cell.Seed = SeedOf(seed)
-								if err := addCell(cell); err != nil {
-									return fail(err)
+					for _, mtbf := range mtbfAxis {
+						for _, mttr := range mttrAxis {
+							for _, clusters := range sp.ClusterCounts {
+								for _, dispatch := range sp.Dispatches {
+									for _, seed := range sp.Seeds {
+										cell := sp.Scenario
+										cell.Size, cell.Band, cell.Sleep = size, band, sleep
+										cell.MTBF, cell.MTTR = copyRate(mtbf), copyRate(mttr)
+										cell.Clusters, cell.Dispatch = clusters, dispatch
+										cell.Seed = SeedOf(seed)
+										if err := addCell(cell); err != nil {
+											return fail(err)
+										}
+									}
 								}
 							}
 						}
@@ -275,6 +303,28 @@ func (sp SweepSpec) Expand() (ExpandedSweep, error) {
 		}
 	}
 	return ExpandedSweep{spec: sp, cells: cells}, nil
+}
+
+// churnAxis returns the mtbf/mttr expansion axis: the explicit list, or
+// the scalar — possibly nil, meaning absent — as a single-cell axis.
+func churnAxis(scalar *float64, list []float64) []*float64 {
+	if len(list) == 0 {
+		return []*float64{scalar}
+	}
+	out := make([]*float64, len(list))
+	for i := range list {
+		out[i] = &list[i]
+	}
+	return out
+}
+
+// copyRate clones an optional rate so cells never alias the spec's axis
+// storage.
+func copyRate(p *float64) *float64 {
+	if p == nil {
+		return nil
+	}
+	return RateOf(*p)
 }
 
 // SweepResult is the outcome of a sweep: the normalized spec, every
@@ -368,7 +418,7 @@ func (p *Pool) runClusterCells(ctx context.Context, cells []Scenario, results []
 		}
 		job := ClusterJob{
 			Size: cell.Size, Band: band, Seed: cell.SeedValue(), Intervals: cell.Intervals,
-			Mutate: func(c *cluster.Config) { c.Sleep = sleep },
+			Mutate: func(c *cluster.Config) { c.Sleep = sleep; cell.applyChurn(c) },
 		}
 		if observe != nil {
 			ci := ci
@@ -377,9 +427,11 @@ func (p *Pool) runClusterCells(ctx context.Context, cells []Scenario, results []
 		jobs = append(jobs, job)
 		slots = append(slots, slot{cell: ci})
 		if cell.CompareBaseline {
+			// The baseline inherits the cell's churn so the savings
+			// comparison stays apples-to-apples under failures.
 			jobs = append(jobs, ClusterJob{
 				Size: cell.Size, Band: band, Seed: cell.SeedValue(), Intervals: cell.Intervals,
-				Mutate: func(c *cluster.Config) { c.Sleep = cluster.SleepNever },
+				Mutate: func(c *cluster.Config) { c.Sleep = cluster.SleepNever; cell.applyChurn(c) },
 			})
 			slots = append(slots, slot{cell: ci, baseline: true})
 		}

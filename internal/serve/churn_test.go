@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ealb/internal/engine"
+)
+
+// TestChurnSweepEndToEnd drives the acceptance path of the churn
+// subsystem through the HTTP service: a farm sweep over mtbfs ×
+// dispatches submitted as JSON, per-cell NDJSON interval tails carrying
+// the resilience fields, aggregates with availability/lost statistics,
+// and /metrics exposing the failure counters — with the whole response
+// byte-identical between a one-worker and an eight-worker engine.
+func TestChurnSweepEndToEnd(t *testing.T) {
+	body := `{"kind":"farm","clusters":2,"size":50,"intervals":6,"seeds":[1,2],` +
+		`"mtbfs":[600,1200],"dispatches":["round-robin","least-loaded"],"mttr":240}`
+
+	var first []byte
+	for _, workers := range []int{1, 8} {
+		s := New(engine.NewPool(workers))
+		ts := newServerFor(t, s)
+		resp, run := postRun(t, ts, body, true)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("workers=%d: POST status = %d", workers, resp.StatusCode)
+		}
+		if run.Status != StatusDone || run.Sweep == nil {
+			t.Fatalf("workers=%d: run = %+v", workers, run)
+		}
+		if len(run.Sweep.Cells) != 8 {
+			t.Fatalf("workers=%d: sweep has %d cells, want 8 (2 mtbfs × 2 dispatches × 2 seeds)",
+				workers, len(run.Sweep.Cells))
+		}
+
+		// The sweep result — cells and aggregates — must not depend on
+		// the worker count.
+		raw, err := json.Marshal(run.Sweep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = raw
+		} else if string(raw) != string(first) {
+			t.Fatalf("8-worker sweep differs from 1-worker sweep")
+		}
+
+		totalFailures := 0
+		for i, cell := range run.Sweep.Cells {
+			if cell.Farm == nil {
+				t.Fatalf("cell %d missing farm result", i)
+			}
+			totalFailures += cell.Farm.Failures
+			if cell.Scenario.MTBF == nil || cell.Scenario.MTTR == nil || *cell.Scenario.MTTR != 240 {
+				t.Fatalf("cell %d churn scalars = %+v/%+v", i, cell.Scenario.MTBF, cell.Scenario.MTTR)
+			}
+		}
+		if totalFailures == 0 {
+			t.Fatal("churned sweep saw no failures")
+		}
+		if len(run.Sweep.Aggregates) != 4 {
+			t.Fatalf("sweep has %d aggregates, want 4 (mtbf × dispatch)", len(run.Sweep.Aggregates))
+		}
+		for _, agg := range run.Sweep.Aggregates {
+			if !strings.Contains(agg.Group, "mtbf=") {
+				t.Errorf("aggregate group %q lacks the churn key", agg.Group)
+			}
+			if agg.Availability.Mean <= 0 || agg.Availability.Mean > 1 {
+				t.Errorf("group %q availability mean = %v", agg.Group, agg.Availability.Mean)
+			}
+			if agg.AppsLost.Min < 0 {
+				t.Errorf("group %q negative losses: %+v", agg.Group, agg.AppsLost)
+			}
+		}
+
+		// The NDJSON tail of a churned cell carries the resilience fields.
+		tail, err := http.Get(ts.URL + "/v1/runs/" + run.ID + "/intervals?cell=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := json.NewDecoder(tail.Body)
+		lines, withChurn := 0, 0
+		for dec.More() {
+			var st struct {
+				Index        int      `json:"index"`
+				Availability *float64 `json:"availability"`
+				Failures     int      `json:"failures"`
+				Repairs      int      `json:"repairs"`
+				FailedCount  int      `json:"failed"`
+			}
+			if err := dec.Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			lines++
+			if st.Availability != nil {
+				withChurn++
+				if *st.Availability > 1 || *st.Availability < 0 {
+					t.Errorf("interval %d availability %v", st.Index, *st.Availability)
+				}
+			}
+		}
+		tail.Body.Close()
+		if lines != 6 {
+			t.Fatalf("tailed %d intervals, want 6", lines)
+		}
+		// availability omits only at exactly 0 (all down — not reachable
+		// at these MTBFs); every churned interval line must carry it.
+		if withChurn != lines {
+			t.Errorf("%d/%d interval lines carry availability", withChurn, lines)
+		}
+
+		// /metrics exposes the new failure counters with nonzero values.
+		metrics, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err = io.ReadAll(metrics.Body)
+		metrics.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(raw)
+		for _, name := range []string{"ealb_cluster_failures_total", "ealb_cluster_apps_lost_total"} {
+			if !strings.Contains(text, "# TYPE "+name+" counter") {
+				t.Errorf("workers=%d: /metrics missing %s", workers, name)
+			}
+		}
+		if strings.Contains(text, "ealb_cluster_failures_total 0\n") {
+			t.Errorf("workers=%d: failure counter stayed zero after a churned sweep", workers)
+		}
+	}
+}
+
+// TestListLimitBoundary pins the ?limit= contract: limit=0 and negative
+// limits are explicit 400s whose error text names the requirement, and
+// limit=1 still works.
+func TestListLimitBoundary(t *testing.T) {
+	_, ts := newTestServer(t)
+	postRun(t, ts, `{"size":40,"intervals":2}`, true)
+
+	for _, bad := range []string{"0", "-1"} {
+		resp, err := http.Get(ts.URL + "/v1/runs?limit=" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("limit=%s status = %d, want 400", bad, resp.StatusCode)
+		}
+		if !strings.Contains(string(raw), "positive integer") {
+			t.Errorf("limit=%s error body %q does not name the requirement", bad, raw)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/runs?limit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("limit=1 status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// newServerFor wires an httptest server around an explicitly built
+// service (newTestServer hard-codes a two-worker pool).
+func newServerFor(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { s.Wait(); ts.Close() })
+	return ts
+}

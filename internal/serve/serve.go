@@ -3,7 +3,12 @@
 // JSON and the service executes them on a shared engine pool:
 //
 //	POST   /v1/runs                 submit a scenario or sweep (?wait=1 blocks)
-//	GET    /v1/runs                 list runs, newest last (?status=, ?limit=)
+//	GET    /v1/runs                 list runs, newest last. ?status= keeps
+//	                                one status (see Statuses); ?limit=N
+//	                                keeps only the N most recent. N must be
+//	                                a positive integer — limit=0 is a 400,
+//	                                not "no limit": an unbounded list is
+//	                                spelled by omitting the parameter.
 //	GET    /v1/runs/{id}            one run with its result summary
 //	GET    /v1/runs/{id}/intervals  stream per-interval stats as NDJSON;
 //	                                tails a running simulation live (?cell=
@@ -333,8 +338,11 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 	limit := -1
 	if raw := q.Get("limit"); raw != "" {
+		// limit=0 is rejected along with negatives and junk: it reads as
+		// "no runs", which no client means, and treating it as "no limit"
+		// would hide the typo. Omitting the parameter lists everything.
 		n, err := strconv.Atoi(raw)
-		if err != nil || n <= 0 {
+		if err != nil || n < 1 {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid limit %q (want a positive integer)", raw))
 			return
 		}
@@ -629,6 +637,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ealb_engine_jobs_failed_total", "Simulation jobs that failed (including cancellations).", "counter", fmt.Sprintf("%d", st.JobsFailed)},
 		{"ealb_engine_queue_depth", "Jobs submitted but not yet started.", "gauge", fmt.Sprintf("%d", st.QueueDepth)},
 		{"ealb_engine_intervals_simulated_total", "Reallocation intervals completed by cluster jobs.", "counter", fmt.Sprintf("%d", st.IntervalsSimulated)},
+		{"ealb_cluster_failures_total", "Server failures injected by completed jobs (churn process plus manual injection).", "counter", fmt.Sprintf("%d", st.ClusterFailures)},
+		{"ealb_cluster_apps_lost_total", "Applications lost to failures with no surviving capacity, across completed jobs.", "counter", fmt.Sprintf("%d", st.ClusterAppsLost)},
 		{"ealb_simulated_joules_total", "Total energy simulated by completed jobs, in Joules.", "counter", fmt.Sprintf("%.6g", st.SimulatedJoules)},
 		{"ealb_simulated_joules_saved_total", "Simulated savings versus always-on baselines, in Joules.", "counter", fmt.Sprintf("%.6g", st.JoulesSaved)},
 	}

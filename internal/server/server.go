@@ -260,6 +260,22 @@ func (s *Server) SkipTo(now units.Seconds) error {
 	return nil
 }
 
+// Crash models a hard power loss at time now. The energy account is
+// closed at the pre-crash draw (sleep-state draw if the server was
+// parked — the segment since the last accounting was really spent), and
+// any in-flight ACPI transition is abandoned: the server is left in C0
+// with nothing armed, so when the owner later returns it to service it
+// provably reboots fresh rather than resuming a half-done sleep entry or
+// wake-up. The caller accounts the outage itself (cluster.FailServer
+// pairs Crash with SkipTo until Repair).
+func (s *Server) Crash(now units.Seconds) error {
+	if _, err := s.AccountTo(now); err != nil {
+		return err
+	}
+	s.acpi.Crash()
+	return nil
+}
+
 // Sleep accounts energy to now and parks the server in target. A loaded
 // server cannot sleep — the protocol must migrate its workload away first.
 func (s *Server) Sleep(target acpi.CState, now units.Seconds) error {

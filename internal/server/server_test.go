@@ -377,3 +377,50 @@ func TestLookup(t *testing.T) {
 		t.Error("Lookup(8) must miss")
 	}
 }
+
+func TestCrashClosesAccountAndRebootsACPI(t *testing.T) {
+	s := newServer(t)
+	// Park the server, let the entry complete, then account some sleep
+	// time before the crash: the final sleep segment must be charged.
+	if err := s.Sleep(acpi.C3, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AccountTo(200); err != nil {
+		t.Fatal(err)
+	}
+	e200 := s.Energy()
+	if err := s.Crash(300); err != nil {
+		t.Fatal(err)
+	}
+	// C3 draws 0.15 × 200 W = 30 W; the 100 s segment to the crash is 3 kJ.
+	if got := float64(s.Energy() - e200); math.Abs(got-3000) > 1e-6 {
+		t.Errorf("crash charged %v J for the final sleep segment, want 3000", got)
+	}
+	if s.Sleeping() || s.CState() != acpi.C0 || s.CStateBusy(300) {
+		t.Errorf("crashed server not rebooted: state=%v busy=%v", s.CState(), s.CStateBusy(300))
+	}
+	// After the (caller-modeled) outage the server hosts again.
+	if err := s.SkipTo(500); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(hosted(t, 1, 0.2), 500); err != nil {
+		t.Errorf("crashed-then-repaired server cannot host: %v", err)
+	}
+}
+
+func TestCrashMidTransition(t *testing.T) {
+	s := newServer(t)
+	if err := s.Sleep(acpi.C6, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Entry in flight (C6 entry takes 5 s): a crash abandons it.
+	if !s.CStateBusy(102) {
+		t.Fatal("C6 entry should be in flight")
+	}
+	if err := s.Crash(102); err != nil {
+		t.Fatal(err)
+	}
+	if s.Sleeping() || s.CStateBusy(102) {
+		t.Error("crash left the sleep entry armed")
+	}
+}
