@@ -1,0 +1,143 @@
+// Command benchjson converts `go test -bench` text output into the
+// machine-readable benchmark artifact CI uploads next to the raw log
+// (BENCH_<pr>.json). The schema is stable so successive PRs' artifacts
+// can be concatenated into a perf trajectory:
+//
+//	{
+//	  "schema": "ealb-bench/v1",
+//	  "pr": 6,
+//	  "goos": "linux", "goarch": "amd64", "cpu": "...",
+//	  "benchmarks": [
+//	    {"pkg": "ealb/internal/cluster",
+//	     "name": "BenchmarkClusterIntervals/size=100-8",
+//	     "ns_per_op": 88123.0, "bytes_per_op": 20480, "allocs_per_op": 20}
+//	  ]
+//	}
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime 1x ./... | benchjson -pr 6 -o BENCH_6.json
+//
+// Lines that are not benchmark results (pass/fail summaries, pkg
+// headers) parameterize or skip; ns/op is always present, B/op and
+// allocs/op when -benchmem was given.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Pkg  string `json:"pkg,omitempty"`
+	Name string `json:"name"`
+	// Iterations is b.N — 1 under CI's -benchtime 1x smoke.
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64 `json:"mb_per_sec,omitempty"`
+}
+
+type artifact struct {
+	Schema     string      `json:"schema"`
+	PR         int         `json:"pr,omitempty"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		pr  = flag.Int("pr", 0, "PR number recorded in the artifact (names BENCH_<pr>.json)")
+		out = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(os.Stdin, *pr, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, pr int, out string) error {
+	art := artifact{Schema: "ealb-bench/v1", PR: pr, Benchmarks: []benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			art.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			art.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			art.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				b.Pkg = pkg
+				art.Benchmarks = append(art.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(art.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines found on input")
+	}
+
+	raw, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	return os.WriteFile(out, raw, 0o644)
+}
+
+// parseBench parses one result line: a name, the iteration count, then
+// value-unit pairs (`123 ns/op`, `45 B/op`, `6 allocs/op`, `7.8 MB/s`).
+func parseBench(line string) (benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b := benchmark{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchmark{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			n := int64(val)
+			b.BytesPerOp = &n
+		case "allocs/op":
+			n := int64(val)
+			b.AllocsPerOp = &n
+		case "MB/s":
+			v := val
+			b.MBPerSec = &v
+		}
+	}
+	return b, b.NsPerOp > 0
+}

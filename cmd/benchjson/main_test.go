@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: ealb/internal/cluster
+cpu: AMD EPYC 7B13
+BenchmarkClusterIntervals/size=100-8         	       1	     88123 ns/op	   20480 B/op	      20 allocs/op
+BenchmarkClusterIntervals/size=1000-8        	       1	    912345 ns/op	  204800 B/op	     120 allocs/op
+PASS
+ok  	ealb/internal/cluster	1.234s
+pkg: ealb/internal/engine
+BenchmarkSweep-8   	       2	  51234567 ns/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	b, ok := parseBench("BenchmarkClusterIntervals/size=100-8 \t 1\t 88123 ns/op\t 20480 B/op\t 20 allocs/op")
+	if !ok {
+		t.Fatal("result line rejected")
+	}
+	if b.Name != "BenchmarkClusterIntervals/size=100-8" || b.Iterations != 1 || b.NsPerOp != 88123 {
+		t.Errorf("parsed %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 20480 || b.AllocsPerOp == nil || *b.AllocsPerOp != 20 {
+		t.Errorf("memory stats lost: %+v", b)
+	}
+	if _, ok := parseBench("BenchmarkBroken-8  abc  12 ns/op"); ok {
+		t.Error("junk iteration count accepted")
+	}
+	// Without -benchmem there are no B/op fields; the line still counts.
+	b, ok = parseBench("BenchmarkLean-8   100   321 ns/op")
+	if !ok || b.BytesPerOp != nil {
+		t.Errorf("plain line parsed as %+v ok=%v", b, ok)
+	}
+}
+
+func TestRunEmitsArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := run(strings.NewReader(sampleBenchOutput), 6, out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Schema != "ealb-bench/v1" || art.PR != 6 {
+		t.Errorf("header = %+v", art)
+	}
+	if art.GOOS != "linux" || art.CPU != "AMD EPYC 7B13" {
+		t.Errorf("environment lost: %+v", art)
+	}
+	if len(art.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(art.Benchmarks))
+	}
+	if art.Benchmarks[0].Pkg != "ealb/internal/cluster" || art.Benchmarks[2].Pkg != "ealb/internal/engine" {
+		t.Errorf("pkg attribution wrong: %q, %q", art.Benchmarks[0].Pkg, art.Benchmarks[2].Pkg)
+	}
+	if art.Benchmarks[2].BytesPerOp != nil {
+		t.Error("engine bench (no -benchmem fields) grew memory stats")
+	}
+
+	// Empty input is an error, not an empty artifact.
+	if err := run(strings.NewReader("PASS\n"), 6, filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Error("benchmark-free input accepted")
+	}
+}

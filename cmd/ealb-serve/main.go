@@ -5,6 +5,8 @@
 //
 //	ealb-serve                    # listen on :8080, one worker per CPU
 //	ealb-serve -addr :9000 -workers 4 -drain 30s
+//	ealb-serve -pprof             # also expose /debug/pprof/ profiling handlers
+//	ealb-serve -log-level debug   # per-request logs (JSON on stderr)
 //
 // Submit a scenario and fetch its result:
 //
@@ -14,6 +16,7 @@
 //	curl -s 'localhost:8080/v1/runs?status=done&limit=10'
 //	curl -s localhost:8080/v1/runs/run-000001
 //	curl -s localhost:8080/v1/runs/run-000001/intervals   # tails live runs
+//	curl -s localhost:8080/v1/runs/run-000001/trace       # decision events ("trace":true runs)
 //	curl -s -X DELETE localhost:8080/v1/runs/run-000001   # cancel
 //	curl -s localhost:8080/metrics
 //
@@ -29,8 +32,10 @@
 //	curl -s -X POST localhost:8080/v1/runs?wait=1 \
 //	  -d '{"kind":"policy","profiles":["burst","diurnal"],"base_rate":1000,"peak_rate":5000}'
 //
-// On SIGINT/SIGTERM the server stops accepting requests and drains:
-// in-flight simulations get -drain to finish before being cancelled.
+// The service logs structured JSON lines to stderr (run lifecycle at
+// info, per-request logs at debug). On SIGINT/SIGTERM the server stops
+// accepting requests and drains: in-flight simulations get -drain to
+// finish before being cancelled.
 package main
 
 import (
@@ -38,8 +43,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,38 +57,64 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "engine worker count (0 = one per CPU)")
-		drain   = flag.Duration("drain", 30*time.Second, "how long to let in-flight runs finish on shutdown before cancelling them")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "engine worker count (0 = one per CPU)")
+		drain     = flag.Duration("drain", 30*time.Second, "how long to let in-flight runs finish on shutdown before cancelling them")
+		withPprof = flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug adds per-request logs)")
 	)
 	flag.Parse()
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "ealb-serve: invalid -log-level %q (want debug, info, warn or error)\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	pool := engine.NewPool(*workers)
 	svc := serve.New(pool)
-	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	svc.SetLogger(logger)
+
+	handler := svc.Handler()
+	if *withPprof {
+		// The profiling handlers are registered explicitly (not via the
+		// package's DefaultServeMux side effect) so they exist only when
+		// asked for, on the service's own mux.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("ealb-serve listening on %s (%d engine workers)\n", *addr, pool.Workers())
+	logger.Info("listening", "addr", *addr, "workers", pool.Workers(), "pprof", *withPprof)
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("serve failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills the process the default way
 
-	fmt.Printf("ealb-serve draining (up to %v)\n", *drain)
+	logger.Info("draining", "grace", *drain)
 	grace, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(grace); err != nil {
-		log.Printf("ealb-serve: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	if err := svc.Shutdown(grace); err != nil && !errors.Is(err, context.Canceled) {
-		log.Printf("ealb-serve: cancelled in-flight runs after drain timeout: %v", err)
+		logger.Warn("cancelled in-flight runs after drain timeout", "error", err)
 	}
-	fmt.Println("ealb-serve stopped")
+	logger.Info("stopped")
 }

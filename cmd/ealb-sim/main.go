@@ -11,6 +11,7 @@
 //	ealb-sim -clusters 4 -size 100 -dispatch least-loaded
 //	ealb-sim -clusters 8 -size 50 -dispatch energy-headroom -arrivals 10 -csv
 //	ealb-sim -size 100 -mtbf 3600 -mttr 300     # stochastic server churn
+//	ealb-sim -size 100 -trace out.ndjson        # decision trace + phase timing summary
 package main
 
 import (
@@ -51,6 +52,7 @@ func run() error {
 		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
+		tracePath  = flag.String("trace", "", "write decision events and phase timings as NDJSON to this file and print a phase-timing summary on exit")
 	)
 	flag.Parse()
 
@@ -85,6 +87,27 @@ func run() error {
 	// Ctrl-C abandons the simulation at its next interval/slot.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// Decision tracing: NDJSON to the file, aggregate summary to stderr.
+	// Attaching the tracer cannot change the simulated output — the
+	// digests are byte-identical either way (the trace package contract).
+	var tracer ealb.Tracer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		tw := ealb.NewTraceWriter(f)
+		rec := ealb.NewTraceRecorder()
+		tracer = ealb.MultiTracer(tw, rec)
+		defer func() {
+			if err := tw.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "ealb-sim: trace:", err)
+			}
+			f.Close()
+			fmt.Fprint(os.Stderr, "\n"+rec.Summary())
+		}()
+	}
 
 	var band ealb.Band
 	switch *load {
@@ -121,8 +144,9 @@ func run() error {
 		return fmt.Errorf("-clusters %d must be at least 1", *clusters)
 	}
 	if *clusters > 1 {
-		return runFarm(ctx, *clusters, cfg, *dispatch, *arrivals, *intervals, *seed, *csv)
+		return runFarm(ctx, *clusters, cfg, *dispatch, *arrivals, *intervals, *seed, *csv, tracer)
 	}
+	cfg.Tracer = tracer
 	// Farm-only flags on a single-cluster run would be silently ignored;
 	// refuse instead so the user knows the run they asked for needs
 	// -clusters.
@@ -179,7 +203,7 @@ func run() error {
 // runFarm simulates a federated farm: clusters × size servers behind the
 // chosen dispatcher, the per-interval advance phase parallelized on an
 // engine sized to the machine.
-func runFarm(ctx context.Context, clusters int, ccfg ealb.ClusterConfig, dispatch string, arrivals float64, intervals int, seed uint64, csv bool) error {
+func runFarm(ctx context.Context, clusters int, ccfg ealb.ClusterConfig, dispatch string, arrivals float64, intervals int, seed uint64, csv bool, tracer ealb.Tracer) error {
 	policy, err := ealb.ParseDispatchPolicy(dispatch)
 	if err != nil {
 		return err
@@ -187,6 +211,8 @@ func runFarm(ctx context.Context, clusters int, ccfg ealb.ClusterConfig, dispatc
 	cfg := ealb.DefaultClusterFarmConfig(clusters, ccfg.Size, ccfg.InitialLoad, seed)
 	cfg.Dispatch = policy
 	cfg.Cluster = ccfg
+	// The farm stamps each member cluster's index onto the shared stream.
+	cfg.Tracer = tracer
 	if arrivals >= 0 {
 		cfg.ArrivalRate = arrivals
 	}

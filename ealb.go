@@ -47,6 +47,7 @@ import (
 	"ealb/internal/farm"
 	"ealb/internal/policy"
 	"ealb/internal/serve"
+	"ealb/internal/trace"
 	"ealb/internal/units"
 	"ealb/internal/workload"
 )
@@ -266,6 +267,42 @@ func RunAllExperiments(w io.Writer, opt ExperimentOptions) error {
 func RunClusterExperiment(size int, band Band, seed uint64, intervals int) (ClusterRun, error) {
 	return experiments.RunCluster(size, band, seed, intervals, nil)
 }
+
+// Decision tracing and phase timing. A Tracer attached to a
+// ClusterConfig or ClusterFarmConfig receives every balance decision,
+// admission, failure/repair and dispatch as a structured event plus
+// per-interval phase timings. Tracing is strictly observational: it
+// consumes no random numbers and changes no simulated output (runs are
+// byte-identical with and without a tracer), and a nil Tracer costs a
+// single branch per hook site.
+type (
+	// Tracer receives decision events and phase timings; implementations
+	// must be safe for concurrent use and must not feed back into the
+	// simulation.
+	Tracer = trace.Tracer
+	// TraceEvent is one structured decision event.
+	TraceEvent = trace.Event
+	// TraceEventKind discriminates decision events (report, move, wake,
+	// sleep, admit, fail, repair, dispatch).
+	TraceEventKind = trace.Kind
+	// TraceRecorder aggregates phase-latency histograms and per-kind
+	// event counts; its Summary renders ealb-sim's exit report.
+	TraceRecorder = trace.Recorder
+	// TraceWriter streams events and phase timings as NDJSON.
+	TraceWriter = trace.Writer
+)
+
+// NewTraceRecorder returns an empty aggregating tracer.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// NewTraceWriter returns a tracer writing NDJSON to w; call Flush
+// before closing w.
+func NewTraceWriter(w io.Writer) *TraceWriter { return trace.NewWriter(w) }
+
+// MultiTracer composes tracers: every event and timing goes to each
+// non-nil tracer in order. All-nil input collapses to nil (tracing
+// disabled).
+func MultiTracer(ts ...Tracer) Tracer { return trace.Multi(ts...) }
 
 // Simulation engine and scenario service.
 type (

@@ -5,6 +5,7 @@ import (
 
 	"ealb/internal/netsim"
 	"ealb/internal/server"
+	"ealb/internal/trace"
 	"ealb/internal/units"
 )
 
@@ -39,6 +40,9 @@ func (c *Cluster) Admit(demand units.Fraction) (server.ID, bool, error) {
 		dst = c.findAcceptor(demand, nil, acceptToSoptHigh)
 	}
 	if dst == nil {
+		if c.cfg.Tracer != nil {
+			c.emit(trace.Event{Kind: trace.KindAdmit, Src: -1, Dst: -1, App: -1, Demand: float64(demand)})
+		}
 		return 0, false, nil
 	}
 	a := c.appArena.alloc()
@@ -61,6 +65,9 @@ func (c *Cluster) Admit(demand units.Fraction) (server.ID, bool, error) {
 		return 0, false, err
 	}
 	c.admitted++
+	if c.cfg.Tracer != nil {
+		c.emit(trace.Event{Kind: trace.KindAdmit, Src: -1, Dst: int(dst.ID()), App: int(a.ID), Demand: float64(demand), OK: true})
+	}
 	return dst.ID(), true, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"ealb/internal/trace"
 	"ealb/internal/workload"
 )
 
@@ -23,6 +24,34 @@ func BenchmarkClusterIntervals(b *testing.B) {
 			// Warm up past the initial rebalancing storm so the measured
 			// intervals reflect steady state, not the one-off start-up
 			// consolidation wave.
+			if _, err := c.RunIntervals(context.Background(), 5); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.RunIntervals(context.Background(), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterIntervalsTraced is BenchmarkClusterIntervals with an
+// aggregating tracer attached — the enabled-tracing column of
+// EXPERIMENTS.md's overhead panel. The delta against the nil-tracer
+// numbers is the full price of phase timing plus per-decision event
+// delivery.
+func BenchmarkClusterIntervalsTraced(b *testing.B) {
+	for _, size := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			cfg := DefaultConfig(size, workload.LowLoad(), 1)
+			cfg.Tracer = trace.NewRecorder()
+			c, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
 			if _, err := c.RunIntervals(context.Background(), 5); err != nil {
 				b.Fatal(err)
 			}

@@ -43,6 +43,7 @@ import (
 	"ealb/internal/regime"
 	"ealb/internal/scaling"
 	"ealb/internal/server"
+	"ealb/internal/trace"
 	"ealb/internal/units"
 	"ealb/internal/vm"
 	"ealb/internal/workload"
@@ -168,6 +169,13 @@ type Config struct {
 	// wires it to the scenario service's live interval tail; it must not
 	// mutate the cluster.
 	OnInterval func(IntervalStats)
+	// Tracer, when non-nil, receives every leader decision as a
+	// structured event and every interval phase's wall time. Tracing is
+	// strictly observational: it consumes no random numbers and alters
+	// no simulated state, so digested output is byte-identical with and
+	// without it, and a nil Tracer keeps the interval hot path
+	// allocation-free.
+	Tracer trace.Tracer
 }
 
 // DefaultConfig returns the §5 experiment parameterization for a cluster

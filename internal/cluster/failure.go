@@ -6,6 +6,7 @@ import (
 	"ealb/internal/eventsim"
 	"ealb/internal/scaling"
 	"ealb/internal/server"
+	"ealb/internal/trace"
 )
 
 // Failure injection. §1 lists fault resilience among load balancing's
@@ -75,6 +76,9 @@ func (c *Cluster) FailServer(id server.ID) (replaced, lost int, err error) {
 	}
 	c.appsReplaced += replaced
 	c.appsLost += lost
+	if c.cfg.Tracer != nil {
+		c.emit(trace.Event{Kind: trace.KindFail, Src: int(id), Dst: -1, App: -1, Replaced: replaced, Lost: lost})
+	}
 	return replaced, lost, nil
 }
 
@@ -99,6 +103,9 @@ func (c *Cluster) Repair(id server.ID) error {
 	// Under churn the rejoiner draws a fresh ~MTBF time-to-failure (its
 	// old deadline has necessarily passed — it just crashed on it).
 	c.armFailure(int(id))
+	if c.cfg.Tracer != nil {
+		c.emit(trace.Event{Kind: trace.KindRepair, Src: int(id), Dst: -1, App: -1})
+	}
 	return nil
 }
 

@@ -43,9 +43,14 @@ var goldenDigests = []struct {
 }
 
 // intervalDigest runs the scenario and hashes the JSON-encoded stream.
+// Under EALB_TEST_TRACE=1 (CI's trace-enabled variant) a tracer is
+// attached, so the digests double as the tracing-is-observational
+// invariant: they must match the pins either way.
 func intervalDigest(t *testing.T, size int, band workload.Band, seed uint64, intervals int) string {
 	t.Helper()
-	c, err := New(DefaultConfig(size, band, seed))
+	cfg := DefaultConfig(size, band, seed)
+	cfg.Tracer = testTracer()
+	c, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

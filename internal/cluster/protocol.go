@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"ealb/internal/eventsim"
 	"ealb/internal/migration"
@@ -10,6 +11,7 @@ import (
 	"ealb/internal/regime"
 	"ealb/internal/scaling"
 	"ealb/internal/server"
+	"ealb/internal/trace"
 	"ealb/internal/units"
 	"ealb/internal/vm"
 )
@@ -125,6 +127,14 @@ func (c *Cluster) runInterval(now units.Seconds) (IntervalStats, error) {
 	c.now = now
 	c.interval++
 
+	// Phase timing is tracer-gated: the nil path takes one branch per
+	// phase boundary and never reads the clock.
+	tr := c.cfg.Tracer
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
+
 	// Servers ran at their previous loads for the whole interval; failed
 	// servers draw nothing and skip the gap.
 	for _, s := range c.servers {
@@ -142,6 +152,10 @@ func (c *Cluster) runInterval(now units.Seconds) (IntervalStats, error) {
 	if err := c.evolveDemand(); err != nil {
 		return IntervalStats{}, err
 	}
+	if tr != nil {
+		tr.Phase(trace.PhaseWorkload, time.Since(t0))
+		t0 = time.Now()
+	}
 
 	// The churn process steps once per interval, after demand evolution
 	// and before the leader pass, so the plan runs against the post-churn
@@ -150,6 +164,9 @@ func (c *Cluster) runInterval(now units.Seconds) (IntervalStats, error) {
 	replaced0, lost0 := c.appsReplaced, c.appsLost
 	if err := c.stepChurn(); err != nil {
 		return IntervalStats{}, err
+	}
+	if tr != nil {
+		tr.Phase(trace.PhaseChurn, time.Since(t0))
 	}
 
 	woken, err := c.balance()
@@ -405,14 +422,34 @@ func (c *Cluster) migrate(src, dst *server.Server, h server.Hosted) error {
 // followed by an apply pass. It returns how many sleeping servers were
 // woken.
 func (c *Cluster) balance() (int, error) {
+	tr := c.cfg.Tracer
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	plan, err := c.planBalance()
 	if err != nil {
 		return 0, err
 	}
+	if tr != nil {
+		tr.Phase(trace.PhasePlan, time.Since(t0))
+		t0 = time.Now()
+	}
 	if err := c.applyBalance(plan); err != nil {
 		return plan.woken, err
 	}
+	if tr != nil {
+		tr.Phase(trace.PhaseApply, time.Since(t0))
+	}
 	return plan.woken, nil
+}
+
+// emit stamps the cluster's interval coordinates onto a decision event
+// and delivers it. Callers must have checked c.cfg.Tracer != nil.
+func (c *Cluster) emit(e trace.Event) {
+	e.Interval = c.interval
+	e.Time = float64(c.now)
+	c.cfg.Tracer.Event(e)
 }
 
 // applyBalance executes a balance plan against the cluster: control-plane
@@ -423,11 +460,15 @@ func (c *Cluster) balance() (int, error) {
 // float accumulators are order-sensitive, and the golden digest test pins
 // that order.
 func (c *Cluster) applyBalance(plan *balancePlan) error {
+	tr := c.cfg.Tracer
 	for _, a := range plan.actions {
 		switch a.kind {
 		case actReport:
 			if _, err := c.net.Send(netsim.NodeID(a.src), netsim.LeaderNode, netsim.MsgRegimeReport, netsim.ControlMsgSize); err != nil {
 				return err
+			}
+			if tr != nil {
+				c.emit(trace.Event{Kind: trace.KindReport, Src: int(a.src), Dst: -1, App: -1})
 			}
 		case actMove:
 			src, err := c.serverByID(a.src)
@@ -442,10 +483,14 @@ func (c *Cluster) applyBalance(plan *balancePlan) error {
 			if !ok {
 				return fmt.Errorf("cluster: planned app %d not hosted on server %d", a.app, a.src)
 			}
+			demand := float64(h.App.Demand)
 			if err := c.migrate(src, dst, h); err != nil {
 				return err
 			}
 			c.ledger.Record(scaling.Horizontal, 1)
+			if tr != nil {
+				c.emit(trace.Event{Kind: trace.KindMove, Src: int(a.src), Dst: int(a.dst), App: int(a.app), Demand: demand})
+			}
 		case actWake:
 			s, err := c.serverByID(a.src)
 			if err != nil {
@@ -468,6 +513,9 @@ func (c *Cluster) applyBalance(plan *balancePlan) error {
 				c.wakesCompleted++
 				c.wakeEvents[id] = eventsim.Handle{}
 			})
+			if tr != nil {
+				c.emit(trace.Event{Kind: trace.KindWake, Src: int(a.src), Dst: -1, App: -1})
+			}
 		case actSleep:
 			s, err := c.serverByID(a.src)
 			if err != nil {
@@ -475,6 +523,9 @@ func (c *Cluster) applyBalance(plan *balancePlan) error {
 			}
 			if err := s.Sleep(a.target, c.now); err != nil {
 				return err
+			}
+			if tr != nil {
+				c.emit(trace.Event{Kind: trace.KindSleep, Src: int(a.src), Dst: -1, App: -1, Target: a.target.String()})
 			}
 		default:
 			return fmt.Errorf("cluster: unknown plan action %d", a.kind)

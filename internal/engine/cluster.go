@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ealb/internal/cluster"
+	"ealb/internal/trace"
 	"ealb/internal/workload"
 )
 
@@ -152,6 +153,10 @@ type ClusterJob struct {
 	// executing this job, so it must be safe for concurrent use across
 	// jobs.
 	Observe func(cluster.IntervalStats)
+	// Tracer, when non-nil, receives the job's decision events and phase
+	// timings (see the trace package's determinism contract). Like
+	// Observe, it runs on the worker goroutine executing this job.
+	Tracer trace.Tracer
 }
 
 // SweepCluster executes every job across the pool and returns the runs in
@@ -164,13 +169,15 @@ func (p *Pool) SweepCluster(ctx context.Context, jobs []ClusterJob) ([]ClusterRu
 	err := p.Map(ctx, len(jobs), func(i int) error {
 		j := jobs[i]
 		mutate := j.Mutate
-		if j.Observe != nil {
-			observe := j.Observe
+		if j.Observe != nil || j.Tracer != nil {
 			mutate = func(c *cluster.Config) {
 				if j.Mutate != nil {
 					j.Mutate(c)
 				}
-				c.OnInterval = observe
+				if j.Observe != nil {
+					c.OnInterval = j.Observe
+				}
+				c.Tracer = j.Tracer
 			}
 		}
 		run, err := p.runClusterArena(ctx, j.Size, j.Band, j.Seed, j.Intervals, mutate)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ealb/internal/farm"
+	"ealb/internal/trace"
 	"ealb/internal/workload"
 )
 
@@ -133,7 +134,7 @@ func (p *Pool) runFarmArena(ctx context.Context, cfg farm.Config, intervals int,
 // contract) — cells are independent and usually outnumber one farm's
 // clusters, and a cell-level Map must not nest another Map inside it,
 // which would deadlock a saturated pool.
-func (p *Pool) runFarmCells(ctx context.Context, cells []Scenario, results []Result, observe func(int, any)) error {
+func (p *Pool) runFarmCells(ctx context.Context, cells []Scenario, results []Result, observe func(int, any), tracerFor func(int) trace.Tracer) error {
 	runCell := func(ci int, r farm.Runner) error {
 		cell := cells[ci]
 		cfg, err := cell.farmSimConfig()
@@ -142,6 +143,9 @@ func (p *Pool) runFarmCells(ctx context.Context, cells []Scenario, results []Res
 		}
 		if observe != nil {
 			cfg.OnInterval = func(st farm.IntervalStats) { observe(ci, st) }
+		}
+		if tracerFor != nil {
+			cfg.Tracer = tracerFor(ci)
 		}
 		run, err := p.runFarmArena(ctx, cfg, cell.Intervals, r)
 		if err != nil {

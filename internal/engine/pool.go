@@ -34,6 +34,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"ealb/internal/trace"
 )
 
 // Pool is a bounded worker pool for simulation jobs. The zero value is not
@@ -62,6 +65,13 @@ type Pool struct {
 
 	joules      atomicFloat // total simulated energy across completed jobs
 	joulesSaved atomicFloat // simulated savings vs always-on baselines
+
+	// queueWait and runDur are the pool's job-latency histograms: time
+	// from submission (Map entry) to a slot, and time spent executing.
+	// Both are log₂-bucketed and always on — two clock reads per job is
+	// noise against a job that simulates at least one interval.
+	queueWait trace.Hist
+	runDur    trace.Hist
 
 	// arenas recycles cluster simulations across jobs: a worker picking
 	// up the next sweep cell rebuilds a pooled cluster in place instead
@@ -114,6 +124,12 @@ type Stats struct {
 	// JoulesSaved accumulates (always-on − energy-aware) energy from
 	// scenarios that requested a baseline comparison.
 	JoulesSaved float64
+	// JobQueueWait and JobRunDuration are log₂ latency histograms over
+	// every job the pool has executed: wall time from submission to a
+	// worker slot, and wall time spent running. ealb-serve exports both
+	// as Prometheus histograms on /metrics.
+	JobQueueWait   trace.HistSnapshot
+	JobRunDuration trace.HistSnapshot
 }
 
 // Stats returns a snapshot of the pool counters.
@@ -132,6 +148,8 @@ func (p *Pool) Stats() Stats {
 		ClusterAppsLost:    p.clusterAppsLost.Load(),
 		SimulatedJoules:    p.joules.Load(),
 		JoulesSaved:        p.joulesSaved.Load(),
+		JobQueueWait:       p.queueWait.Snapshot(),
+		JobRunDuration:     p.runDur.Snapshot(),
 	}
 	if s.JobsSubmitted > s.JobsStarted {
 		s.QueueDepth = s.JobsSubmitted - s.JobsStarted
@@ -158,6 +176,10 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 		ctx = context.Background()
 	}
 	p.jobsSubmitted.Add(uint64(n))
+	// Queue wait is measured from Map entry: a job's wait includes time
+	// spent behind earlier jobs of the same call as well as other
+	// callers holding the pool-wide slots.
+	tSubmit := time.Now()
 	if p.workers == 1 {
 		// Inline fast path: no goroutines, but still through the
 		// pool-wide slot so concurrent callers serialize.
@@ -165,7 +187,10 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 		for i := 0; i < n; i++ {
 			p.slots <- struct{}{}
 			p.jobsStarted.Add(1)
+			start := time.Now()
+			p.queueWait.Observe(start.Sub(tSubmit))
 			err := p.run(ctx, i, fn)
+			p.runDur.Observe(time.Since(start))
 			<-p.slots
 			if err != nil && first == nil {
 				first = err
@@ -189,7 +214,10 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 				// goroutines only shape this call's fan-out.
 				p.slots <- struct{}{}
 				p.jobsStarted.Add(1)
+				start := time.Now()
+				p.queueWait.Observe(start.Sub(tSubmit))
 				errs[i] = p.run(ctx, i, fn)
+				p.runDur.Observe(time.Since(start))
 				<-p.slots
 			}
 		}()

@@ -93,6 +93,12 @@ type Scenario struct {
 	// result (and the engine's joules-saved counter) reports the
 	// measured E_ref/E_opt savings.
 	CompareBaseline bool `json:"compare_baseline,omitempty"`
+	// Trace requests decision tracing for this cell (cluster and farm
+	// scenarios). The engine itself attaches no tracer — the flag tells
+	// the caller (ealb-serve) to create one and stream its events via
+	// `GET /v1/runs/{id}/trace`. Tracing never changes results: the
+	// traced run is byte-identical to the untraced one.
+	Trace bool `json:"trace,omitempty"`
 
 	// Farm scenarios (federated clusters behind a dispatcher). The
 	// cluster fields above describe each member cluster (Size is servers
@@ -250,6 +256,9 @@ func (s Scenario) Validate() error {
 			}
 		}
 	case KindPolicy:
+		if s.Trace {
+			return fmt.Errorf("engine: policy scenarios do not support trace (decision tracing covers cluster and farm runs)")
+		}
 		if s.Servers < 0 || s.Servers > MaxScenarioServers {
 			return fmt.Errorf("engine: policy scenario needs 0 <= servers <= %d, got %d", MaxScenarioServers, s.Servers)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"ealb/internal/cluster"
 	"ealb/internal/policy"
+	"ealb/internal/trace"
 	"ealb/internal/workload"
 )
 
@@ -365,8 +366,21 @@ func (p *Pool) RunSweepObserved(ctx context.Context, spec SweepSpec, observe fun
 // expanded the spec for validation (the HTTP service does, on submit)
 // need not pay for a second expansion.
 func (p *Pool) RunExpanded(ctx context.Context, ex ExpandedSweep, observe func(cell int, st any)) (SweepResult, error) {
+	return p.RunExpandedTraced(ctx, ex, observe, nil)
+}
+
+// RunExpandedTraced is RunExpanded with decision tracing: tracerFor
+// (when non-nil) is consulted once per cluster or farm cell and may
+// return a per-cell tracer — nil to leave that cell untraced — which
+// receives the cell's decision events and phase timings while it runs.
+// Like observe, returned tracers are driven from worker goroutines and
+// must be safe for concurrent use. Tracing is strictly observational:
+// traced results are byte-identical to untraced ones (the engine's
+// trace invariance tests pin this against the golden digests). Policy
+// cells and baseline-comparison runs are never traced.
+func (p *Pool) RunExpandedTraced(ctx context.Context, ex ExpandedSweep, observe func(cell int, st any), tracerFor func(cell int) trace.Tracer) (SweepResult, error) {
 	p.runsStarted.Add(1)
-	res, err := p.runSweep(ctx, ex.spec, ex.cells, observe)
+	res, err := p.runSweep(ctx, ex.spec, ex.cells, observe, tracerFor)
 	if err != nil {
 		p.runsFailed.Add(1)
 		return SweepResult{}, err
@@ -380,15 +394,15 @@ func (p *Pool) RunExpanded(ctx context.Context, ex ExpandedSweep, observe func(c
 // pool); policy cells flatten into one job per (cell, policy) pair;
 // farm cells run one after another, each fanning its clusters out
 // across the pool per interval.
-func (p *Pool) runSweep(ctx context.Context, spec SweepSpec, cells []Scenario, observe func(int, any)) (SweepResult, error) {
+func (p *Pool) runSweep(ctx context.Context, spec SweepSpec, cells []Scenario, observe func(int, any), tracerFor func(int) trace.Tracer) (SweepResult, error) {
 	out := SweepResult{Spec: spec, Cells: make([]Result, len(cells))}
 	switch spec.Kind {
 	case KindCluster:
-		if err := p.runClusterCells(ctx, cells, out.Cells, observe); err != nil {
+		if err := p.runClusterCells(ctx, cells, out.Cells, observe, tracerFor); err != nil {
 			return SweepResult{}, err
 		}
 	case KindFarm:
-		if err := p.runFarmCells(ctx, cells, out.Cells, observe); err != nil {
+		if err := p.runFarmCells(ctx, cells, out.Cells, observe, tracerFor); err != nil {
 			return SweepResult{}, err
 		}
 	case KindPolicy:
@@ -400,7 +414,7 @@ func (p *Pool) runSweep(ctx context.Context, spec SweepSpec, cells []Scenario, o
 	return out, nil
 }
 
-func (p *Pool) runClusterCells(ctx context.Context, cells []Scenario, results []Result, observe func(int, any)) error {
+func (p *Pool) runClusterCells(ctx context.Context, cells []Scenario, results []Result, observe func(int, any), tracerFor func(int) trace.Tracer) error {
 	type slot struct {
 		cell     int
 		baseline bool
@@ -423,6 +437,9 @@ func (p *Pool) runClusterCells(ctx context.Context, cells []Scenario, results []
 		if observe != nil {
 			ci := ci
 			job.Observe = func(st cluster.IntervalStats) { observe(ci, st) }
+		}
+		if tracerFor != nil {
+			job.Tracer = tracerFor(ci)
 		}
 		jobs = append(jobs, job)
 		slots = append(slots, slot{cell: ci})

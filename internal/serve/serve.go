@@ -13,8 +13,12 @@
 //	GET    /v1/runs/{id}/intervals  stream per-interval stats as NDJSON;
 //	                                tails a running simulation live (?cell=
 //	                                selects a sweep cell, default 0)
+//	GET    /v1/runs/{id}/trace      stream decision events as NDJSON for a
+//	                                run submitted with "trace":true (?cell=
+//	                                selects a sweep cell, default 0)
 //	DELETE /v1/runs/{id}            cancel a queued or running run
-//	GET    /metrics                 Prometheus text-format engine/service counters
+//	GET    /metrics                 Prometheus text-format engine/service
+//	                                counters and latency histograms
 //	GET    /healthz                 liveness probe
 //
 // A request body is an engine.SweepSpec: the v1 single-run scalar form
@@ -35,13 +39,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ealb/internal/engine"
+	"ealb/internal/trace"
 )
 
 // Run statuses.
@@ -93,6 +100,11 @@ type Run struct {
 	// tail buffers per-interval stats of cluster cells for live
 	// streaming; nil for policy runs.
 	tail *tail
+	// traceTail buffers decision events for runs submitted with
+	// "trace":true; nil otherwise. Unlike tail it is never released —
+	// events are not part of the recorded result — so finished runs stay
+	// streamable, bounded by maxTraceEventsPerCell.
+	traceTail *tail
 }
 
 // summary is the list view of a run: everything but the full result.
@@ -107,7 +119,18 @@ type summary struct {
 
 // Server is the HTTP scenario service.
 type Server struct {
-	pool *engine.Pool
+	pool   *engine.Pool
+	logger *slog.Logger // nil disables logging (SetLogger)
+
+	// phases aggregates per-interval simulation phase timings across
+	// every traced run; traceDropped counts decision events dropped past
+	// the per-cell buffer cap. Both are exported on /metrics.
+	phases       [trace.NumPhases]trace.Hist
+	traceDropped atomic.Uint64
+
+	// httpMu guards the per-route HTTP metrics map (observe.go).
+	httpMu sync.Mutex
+	routes map[string]*routeMetrics
 
 	mu       sync.Mutex
 	runs     map[string]*Run
@@ -124,7 +147,9 @@ func New(pool *engine.Pool) *Server {
 	return &Server{pool: pool, runs: make(map[string]*Run)}
 }
 
-// Handler returns the service's routed HTTP handler.
+// Handler returns the service's routed HTTP handler, wrapped in the
+// per-route metrics (and, with a logger installed, request-logging)
+// middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
@@ -132,11 +157,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/runs/{id}/intervals", s.handleIntervals)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	return s.instrument(mux)
 }
 
 // Wait blocks until every in-flight run has finished.
@@ -204,6 +230,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "service is draining")
 		return
 	}
+	if s.logger != nil {
+		s.logger.Info("run submitted", "run", run.ID, "kind", ex.Spec().Kind,
+			"cells", len(ex.Cells()), "wait", wait, "remote", r.RemoteAddr)
+	}
 	if wait {
 		func() {
 			defer s.wg.Done()
@@ -256,6 +286,10 @@ func (s *Server) newRun(ex engine.ExpandedSweep, single bool, cancel context.Can
 	}
 	if spec.Kind == engine.KindCluster || spec.Kind == engine.KindFarm {
 		run.tail = newTail(len(ex.Cells()))
+		// Every cell of a sweep shares the spec's trace flag.
+		if ex.Cells()[0].Trace {
+			run.traceTail = newTail(len(ex.Cells()))
+		}
 	}
 	s.runs[run.ID] = run
 	return run, true
@@ -269,11 +303,21 @@ func (s *Server) execute(ctx context.Context, run *Run) {
 	run.Started = &now
 	s.mu.Unlock()
 
+	if s.logger != nil {
+		s.logger.Info("run started", "run", run.ID)
+	}
+
 	var observe func(int, any)
 	if run.tail != nil {
 		observe = run.tail.observe
 	}
-	res, err := s.pool.RunExpanded(ctx, run.expanded, observe)
+	var tracerFor func(int) trace.Tracer
+	if run.traceTail != nil {
+		tracerFor = func(cell int) trace.Tracer {
+			return &tailTracer{srv: s, tail: run.traceTail, cell: cell}
+		}
+	}
+	res, err := s.pool.RunExpandedTraced(ctx, run.expanded, observe, tracerFor)
 
 	end := time.Now().UTC()
 	s.mu.Lock()
@@ -304,6 +348,23 @@ func (s *Server) execute(ctx context.Context, run *Run) {
 	// — there is no result to serve them from.
 	if run.tail != nil {
 		run.tail.finish(err == nil)
+	}
+	// The trace tail is kept (finish without release): decision events
+	// live nowhere else, so a finished run's trace stays streamable.
+	if run.traceTail != nil {
+		run.traceTail.finish(false)
+	}
+	if s.logger != nil {
+		s.mu.Lock()
+		status, errMsg := run.Status, run.Error
+		s.mu.Unlock()
+		if errMsg != "" {
+			s.logger.Info("run finished", "run", run.ID, "status", status,
+				"duration", end.Sub(now), "error", errMsg)
+		} else {
+			s.logger.Info("run finished", "run", run.ID, "status", status,
+				"duration", end.Sub(now))
+		}
 	}
 }
 
@@ -648,6 +709,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind)
 		fmt.Fprintf(w, "%s %s\n", m.name, m.value)
 	}
+	w.Write(s.appendHistMetrics(nil))
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -290,7 +290,9 @@ func TestMetricsExposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sample := regexp.MustCompile(`^([a-z_]+) (-?[0-9.e+]+)$`)
+	// A sample is `name value` or `name{labels} value`; histogram series
+	// append _bucket/_sum/_count to the family named by HELP/TYPE.
+	sample := regexp.MustCompile(`^([a-z_]+?)(?:_bucket|_sum|_count)?(?:\{[^{}]*\})? (-?[0-9.e+-]+)$`)
 	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
 	seenHelp := map[string]bool{}
 	seenType := map[string]bool{}
@@ -306,7 +308,7 @@ func TestMetricsExposition(t *testing.T) {
 			seenHelp[parts[2]] = true
 		case strings.HasPrefix(line, "# TYPE "):
 			parts := strings.SplitN(line, " ", 4)
-			if len(parts) < 4 || (parts[3] != "counter" && parts[3] != "gauge") {
+			if len(parts) < 4 || (parts[3] != "counter" && parts[3] != "gauge" && parts[3] != "histogram") {
 				t.Errorf("malformed TYPE line %q", line)
 				continue
 			}
@@ -326,7 +328,11 @@ func TestMetricsExposition(t *testing.T) {
 	if samples < 10 {
 		t.Errorf("only %d samples exposed", samples)
 	}
-	for _, want := range []string{"ealb_runs_completed_total", "ealb_service_runs_cancelled", "ealb_engine_queue_depth"} {
+	for _, want := range []string{
+		"ealb_runs_completed_total", "ealb_service_runs_cancelled", "ealb_engine_queue_depth",
+		"ealb_engine_job_queue_wait_seconds", "ealb_engine_job_run_seconds",
+		"ealb_sim_phase_seconds", "ealb_http_request_duration_seconds", "ealb_http_requests_total",
+	} {
 		if !seenHelp[want] {
 			t.Errorf("metric %s missing", want)
 		}

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the fixed bucket count of every latency histogram.
+// Bucket i counts observations whose duration in nanoseconds has
+// ceil(log₂ ns) == i — i.e. ns ∈ (2^(i-1), 2^i] — except the last
+// bucket, which absorbs everything larger (+Inf). 2^38 ns ≈ 275 s, so
+// the covered range comfortably spans a nanosecond branch to a minutes-
+// long sweep cell.
+const HistBuckets = 40
+
+// Hist is a fixed-size log₂ latency histogram. All counters are
+// atomic, so one Hist serves both the single-goroutine cluster interval
+// path and the engine's concurrent job pool. The zero value is ready to
+// use.
+type Hist struct {
+	counts [HistBuckets]atomic.Uint64
+	sumNS  atomic.Int64
+	n      atomic.Uint64
+}
+
+// bucketIdx maps a duration to its bucket.
+func bucketIdx(d time.Duration) int {
+	ns := int64(d)
+	if ns <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(ns - 1)) // ceil(log₂ ns)
+	if i >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return i
+}
+
+// Observe records one duration.
+func (h *Hist) Observe(d time.Duration) {
+	h.counts[bucketIdx(d)].Add(1)
+	h.sumNS.Add(int64(d))
+	h.n.Add(1)
+}
+
+// Snapshot returns a point-in-time copy of the histogram. Buckets are
+// read individually, so a snapshot taken concurrently with Observe is
+// approximate (each counter is internally consistent); for post-run
+// reporting it is exact.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.SumNS = h.sumNS.Load()
+	s.Count = h.n.Load()
+	return s
+}
+
+// HistSnapshot is an immutable copy of a Hist.
+type HistSnapshot struct {
+	Counts [HistBuckets]uint64
+	SumNS  int64
+	Count  uint64
+}
+
+// BucketBound returns bucket i's upper bound as a duration. The last
+// bucket is unbounded (+Inf); its reported bound is the largest finite
+// one, used only for quantile clamping.
+func BucketBound(i int) time.Duration {
+	if i >= HistBuckets-1 {
+		i = HistBuckets - 1
+	}
+	return time.Duration(int64(1) << uint(i))
+}
+
+// Mean returns the average observed duration, or 0 when empty.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / int64(s.Count))
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]): the
+// upper edge of the bucket holding the rank-⌈q·n⌉ observation. Returns
+// 0 when the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(HistBuckets - 1)
+}
+
+// AppendProm appends the Prometheus text-exposition sample lines for
+// this snapshot — cumulative `_bucket{le="..."}` lines in ascending le
+// order ending at +Inf, then `_sum` and `_count` — to b and returns the
+// extended slice. Bounds are converted to seconds, the exposition
+// format's base unit. labels, when non-empty, is a pre-rendered label
+// list (e.g. `route="GET /v1/runs"`) merged into every sample. The
+// caller writes the `# HELP`/`# TYPE` header lines.
+func (s HistSnapshot) AppendProm(b []byte, name, labels string) []byte {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i := range s.Counts {
+		cum += s.Counts[i]
+		b = append(b, name...)
+		b = append(b, "_bucket{"...)
+		b = append(b, labels...)
+		b = append(b, sep...)
+		b = append(b, `le="`...)
+		if i == HistBuckets-1 {
+			b = append(b, "+Inf"...)
+		} else {
+			b = strconv.AppendFloat(b, float64(int64(1)<<uint(i))/1e9, 'g', -1, 64)
+		}
+		b = append(b, `"} `...)
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, '\n')
+	}
+	b = append(b, name...)
+	b = append(b, "_sum"...)
+	if labels != "" {
+		b = append(b, '{')
+		b = append(b, labels...)
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, float64(s.SumNS)/1e9, 'g', -1, 64)
+	b = append(b, '\n')
+	b = append(b, name...)
+	b = append(b, "_count"...)
+	if labels != "" {
+		b = append(b, '{')
+		b = append(b, labels...)
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, s.Count, 10)
+	b = append(b, '\n')
+	return b
+}

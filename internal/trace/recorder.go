@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder is an aggregating tracer: per-phase latency histograms and
+// per-kind event counters, all atomic. It is the cheap always-on
+// tracer — no per-event allocation, no IO — behind ealb-sim's exit
+// summary and the overhead benchmarks.
+type Recorder struct {
+	phases [NumPhases]Hist
+	kinds  [numKinds]atomic.Uint64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Event implements Tracer.
+func (r *Recorder) Event(e Event) {
+	if e.Kind < numKinds {
+		r.kinds[e.Kind].Add(1)
+	}
+}
+
+// Phase implements Tracer.
+func (r *Recorder) Phase(p Phase, d time.Duration) {
+	if p < NumPhases {
+		r.phases[p].Observe(d)
+	}
+}
+
+// Events returns how many events of kind k were recorded.
+func (r *Recorder) Events(k Kind) uint64 {
+	if k >= numKinds {
+		return 0
+	}
+	return r.kinds[k].Load()
+}
+
+// TotalEvents returns the total event count across all kinds.
+func (r *Recorder) TotalEvents() uint64 {
+	var n uint64
+	for i := range r.kinds {
+		n += r.kinds[i].Load()
+	}
+	return n
+}
+
+// PhaseSnapshot returns the latency histogram of one phase.
+func (r *Recorder) PhaseSnapshot(p Phase) HistSnapshot {
+	if p >= NumPhases {
+		return HistSnapshot{}
+	}
+	return r.phases[p].Snapshot()
+}
+
+// Summary renders a human-readable phase-timing and event-count report,
+// the block ealb-sim prints on exit when tracing is enabled.
+func (r *Recorder) Summary() string {
+	var b strings.Builder
+	b.WriteString("phase timing (wall time per interval phase):\n")
+	fmt.Fprintf(&b, "  %-10s %10s %12s %12s %12s %12s\n",
+		"phase", "count", "total", "mean", "p50", "p99")
+	for p := Phase(0); p < NumPhases; p++ {
+		s := r.phases[p].Snapshot()
+		fmt.Fprintf(&b, "  %-10s %10d %12v %12v %12v %12v\n",
+			p, s.Count, time.Duration(s.SumNS), s.Mean(),
+			s.Quantile(0.50), s.Quantile(0.99))
+	}
+	b.WriteString("decision events:\n")
+	for k := Kind(0); k < numKinds; k++ {
+		if n := r.kinds[k].Load(); n > 0 {
+			fmt.Fprintf(&b, "  %-10s %10d\n", k, n)
+		}
+	}
+	fmt.Fprintf(&b, "  %-10s %10d\n", "total", r.TotalEvents())
+	return b.String()
+}

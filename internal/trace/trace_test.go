@@ -1,0 +1,231 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestKindJSONRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		var back Kind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != k {
+			t.Fatalf("round trip %v -> %s -> %v", k, b, back)
+		}
+	}
+	var k Kind
+	if err := json.Unmarshal([]byte(`"bogus"`), &k); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := json.Marshal(numKinds); err == nil {
+		t.Fatal("invalid kind marshaled")
+	}
+}
+
+func TestBucketIdx(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{2, 1},
+		{3, 2},
+		{4, 2},
+		{5, 3},
+		{1024, 10},
+		{1025, 11},
+		{time.Hour, HistBuckets - 1}, // overflow clamps to +Inf bucket
+	}
+	for _, c := range cases {
+		if got := bucketIdx(c.d); got != c.want {
+			t.Errorf("bucketIdx(%d ns) = %d, want %d", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestHistQuantileMean(t *testing.T) {
+	var h Hist
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Nanosecond) // bucket 7, bound 128ns
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Microsecond) // bucket 14, bound 16384ns
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if got := s.Quantile(0.5); got != 128*time.Nanosecond {
+		t.Errorf("p50 = %v, want 128ns", got)
+	}
+	if got := s.Quantile(0.99); got != 16384*time.Nanosecond {
+		t.Errorf("p99 = %v, want 16.384µs", got)
+	}
+	wantMean := time.Duration((90*100 + 10*10000) / 100)
+	if got := s.Mean(); got != wantMean {
+		t.Errorf("mean = %v, want %v", got, wantMean)
+	}
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty snapshot quantile/mean not zero")
+	}
+}
+
+// TestAppendPromPinned pins the exact Prometheus text-exposition
+// rendering of a histogram snapshot: cumulative buckets in ascending le
+// order (seconds), terminal +Inf, then _sum and _count. Any change to
+// the bucket layout or number formatting is a wire-format change and
+// must be deliberate.
+func TestAppendPromPinned(t *testing.T) {
+	var h Hist
+	h.Observe(1 * time.Nanosecond)
+	h.Observe(3 * time.Nanosecond)
+	h.Observe(1024 * time.Nanosecond)
+	h.Observe(time.Hour)
+	got := string(h.Snapshot().AppendProm(nil, "ealb_test_seconds", ""))
+	want := `ealb_test_seconds_bucket{le="1e-09"} 1
+ealb_test_seconds_bucket{le="2e-09"} 1
+ealb_test_seconds_bucket{le="4e-09"} 2
+ealb_test_seconds_bucket{le="8e-09"} 2
+ealb_test_seconds_bucket{le="1.6e-08"} 2
+ealb_test_seconds_bucket{le="3.2e-08"} 2
+ealb_test_seconds_bucket{le="6.4e-08"} 2
+ealb_test_seconds_bucket{le="1.28e-07"} 2
+ealb_test_seconds_bucket{le="2.56e-07"} 2
+ealb_test_seconds_bucket{le="5.12e-07"} 2
+ealb_test_seconds_bucket{le="1.024e-06"} 3
+ealb_test_seconds_bucket{le="2.048e-06"} 3
+ealb_test_seconds_bucket{le="4.096e-06"} 3
+ealb_test_seconds_bucket{le="8.192e-06"} 3
+ealb_test_seconds_bucket{le="1.6384e-05"} 3
+ealb_test_seconds_bucket{le="3.2768e-05"} 3
+ealb_test_seconds_bucket{le="6.5536e-05"} 3
+ealb_test_seconds_bucket{le="0.000131072"} 3
+ealb_test_seconds_bucket{le="0.000262144"} 3
+ealb_test_seconds_bucket{le="0.000524288"} 3
+ealb_test_seconds_bucket{le="0.001048576"} 3
+ealb_test_seconds_bucket{le="0.002097152"} 3
+ealb_test_seconds_bucket{le="0.004194304"} 3
+ealb_test_seconds_bucket{le="0.008388608"} 3
+ealb_test_seconds_bucket{le="0.016777216"} 3
+ealb_test_seconds_bucket{le="0.033554432"} 3
+ealb_test_seconds_bucket{le="0.067108864"} 3
+ealb_test_seconds_bucket{le="0.134217728"} 3
+ealb_test_seconds_bucket{le="0.268435456"} 3
+ealb_test_seconds_bucket{le="0.536870912"} 3
+ealb_test_seconds_bucket{le="1.073741824"} 3
+ealb_test_seconds_bucket{le="2.147483648"} 3
+ealb_test_seconds_bucket{le="4.294967296"} 3
+ealb_test_seconds_bucket{le="8.589934592"} 3
+ealb_test_seconds_bucket{le="17.179869184"} 3
+ealb_test_seconds_bucket{le="34.359738368"} 3
+ealb_test_seconds_bucket{le="68.719476736"} 3
+ealb_test_seconds_bucket{le="137.438953472"} 3
+ealb_test_seconds_bucket{le="274.877906944"} 3
+ealb_test_seconds_bucket{le="+Inf"} 4
+ealb_test_seconds_sum 3600.000001028
+ealb_test_seconds_count 4
+`
+	if got != want {
+		t.Errorf("exposition drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	labeled := string(h.Snapshot().AppendProm(nil, "ealb_test_seconds", `route="GET /x"`))
+	if !strings.HasPrefix(labeled, `ealb_test_seconds_bucket{route="GET /x",le="1e-09"} 1`) {
+		t.Errorf("labeled buckets malformed:\n%s", labeled[:120])
+	}
+	if !strings.Contains(labeled, `ealb_test_seconds_sum{route="GET /x"} 3600.000001028`) ||
+		!strings.Contains(labeled, `ealb_test_seconds_count{route="GET /x"} 4`) {
+		t.Errorf("labeled sum/count malformed:\n%s", labeled)
+	}
+}
+
+func TestMultiAndWithCluster(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("empty Multi should be nil")
+	}
+	r := NewRecorder()
+	if Multi(nil, r, nil) != Tracer(r) {
+		t.Fatal("single-survivor Multi should collapse to the survivor")
+	}
+	r2 := NewRecorder()
+	m := Multi(r, r2)
+	m.Event(Event{Kind: KindMove})
+	m.Phase(PhasePlan, time.Microsecond)
+	for _, rec := range []*Recorder{r, r2} {
+		if rec.Events(KindMove) != 1 {
+			t.Fatal("Multi did not fan out event")
+		}
+		if rec.PhaseSnapshot(PhasePlan).Count != 1 {
+			t.Fatal("Multi did not fan out phase")
+		}
+	}
+
+	if WithCluster(nil, 3) != nil {
+		t.Fatal("WithCluster(nil) should stay nil")
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	ct := WithCluster(w, 7)
+	ct.Event(Event{Kind: KindReport, Src: 2, Dst: -1, App: -1})
+	ct.Phase(PhaseApply, 5*time.Nanosecond)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Cluster != 7 || ev.Kind != KindReport || ev.Src != 2 {
+		t.Fatalf("cluster stamp lost: %+v", ev)
+	}
+	var ph phaseRecord
+	if err := json.Unmarshal([]byte(lines[1]), &ph); err != nil {
+		t.Fatal(err)
+	}
+	if ph.Phase != "apply" || ph.NS != 5 {
+		t.Fatalf("phase line wrong: %+v", ph)
+	}
+}
+
+func TestWriterNDJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Event(Event{Kind: KindSleep, Interval: 4, Time: 240, Src: 9, Dst: -1, App: -1, Target: "C6"})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	want := `{"kind":"sleep","interval":4,"t":240,"cluster":0,"src":9,"dst":-1,"app":-1,"target":"C6"}`
+	if line != want {
+		t.Fatalf("event line drifted:\ngot:  %s\nwant: %s", line, want)
+	}
+}
+
+func TestRecorderSummary(t *testing.T) {
+	r := NewRecorder()
+	r.Event(Event{Kind: KindAdmit, OK: true})
+	r.Event(Event{Kind: KindAdmit})
+	r.Phase(PhaseWorkload, time.Millisecond)
+	s := r.Summary()
+	if !strings.Contains(s, "admit") || !strings.Contains(s, "workload") {
+		t.Fatalf("summary missing sections:\n%s", s)
+	}
+	if r.TotalEvents() != 2 {
+		t.Fatalf("total events = %d, want 2", r.TotalEvents())
+	}
+}
