@@ -52,7 +52,7 @@ func BestStateFor(specs map[CState]Spec, peak, idle units.Watts, expected units.
 			states = append(states, c)
 		}
 	}
-	sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+	sort.SliceStable(states, func(i, j int) bool { return states[i] < states[j] })
 	for _, c := range states {
 		spec := specs[c]
 		if spec.WakeLatency > expected {

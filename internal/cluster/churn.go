@@ -67,6 +67,8 @@ func (c *Cluster) armFailure(i int) {
 // interval (the leader immediately sees the fresh capacity); a server
 // failed here is excluded from it — FailServer marks it before the
 // plan's active checks run.
+//
+//ealb:hotpath
 func (c *Cluster) stepChurn() error {
 	if c.cfg.MTBF <= 0 {
 		return nil

@@ -337,6 +337,8 @@ func (c *Cluster) planFindAcceptor(demand units.Fraction, exclude *server.Server
 // protocol RNG, whose draws belong to the decision sequence). The
 // returned plan is owned by the leaderState and valid until the next
 // planBalance call.
+//
+//ealb:hotpath
 func (c *Cluster) planBalance() (*balancePlan, error) {
 	ls := &c.leader
 	ls.beginPlan()
@@ -363,6 +365,8 @@ func (c *Cluster) planBalance() (*balancePlan, error) {
 // planRelief migrates load off R4/R5 servers onto R1/R2 servers — in the
 // plan. R5 servers that find no target cause the leader to wake a
 // sleeping server (§4 step 5).
+//
+//ealb:hotpath
 func (c *Cluster) planRelief() error {
 	ls := &c.leader
 	ls.donors = ls.donors[:0]
@@ -476,6 +480,8 @@ func (c *Cluster) planWake() (bool, error) {
 // then switch itself to sleep"), bounded by the leader's per-interval
 // budget. The sleep state follows the 60% rule (§6) unless forced by the
 // policy.
+//
+//ealb:hotpath
 func (c *Cluster) planConsolidation() {
 	ls := &c.leader
 	target := c.planSleepTarget()

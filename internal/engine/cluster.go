@@ -10,28 +10,32 @@ import (
 )
 
 // ClusterRun is the raw outcome of one (size, band) cluster simulation —
-// the measurements behind the paper's Figures 2-3 and Table 2.
+// the measurements behind the paper's Figures 2-3 and Table 2. Its JSON
+// encoding is part of recorded results (engine.Result), so the tags are
+// explicit and pinned to the historical field names.
+//
+//ealb:digest
 type ClusterRun struct {
-	Size      int
-	Band      workload.Band
-	Before    [5]int // regime distribution at t=0
-	After     [5]int // regime distribution after the run (awake servers)
-	Stats     []cluster.IntervalStats
-	Sleeping  int     // servers asleep at the end
-	AvgAsleep float64 // mean sleeping count across intervals
-	MeanRatio float64 // Table 2 "Average ratio"
-	StdRatio  float64 // Table 2 "Standard deviation"
-	Energy    float64 // total Joules
-	Wakes     int
+	Size      int                     `json:"Size"`
+	Band      workload.Band           `json:"Band"`
+	Before    [5]int                  `json:"Before"` // regime distribution at t=0
+	After     [5]int                  `json:"After"`  // regime distribution after the run (awake servers)
+	Stats     []cluster.IntervalStats `json:"Stats"`
+	Sleeping  int                     `json:"Sleeping"`  // servers asleep at the end
+	AvgAsleep float64                 `json:"AvgAsleep"` // mean sleeping count across intervals
+	MeanRatio float64                 `json:"MeanRatio"` // Table 2 "Average ratio"
+	StdRatio  float64                 `json:"StdRatio"`  // Table 2 "Standard deviation"
+	Energy    float64                 `json:"Energy"`    // total Joules
+	Wakes     int                     `json:"Wakes"`
 	// Resilience measurements (all zero — availability 1 — for
 	// churn-free runs): cumulative failures/repairs, orphaned
 	// applications re-placed and lost, and the mean live-server fraction
 	// across intervals.
-	Failures     int
-	Repairs      int
-	AppsReplaced int
-	AppsLost     int
-	Availability float64
+	Failures     int     `json:"Failures"`
+	Repairs      int     `json:"Repairs"`
+	AppsReplaced int     `json:"AppsReplaced"`
+	AppsLost     int     `json:"AppsLost"`
+	Availability float64 `json:"Availability"`
 }
 
 // RunCluster executes the §5 experiment for one cluster size and load

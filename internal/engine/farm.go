@@ -11,31 +11,35 @@ import (
 
 // FarmRun is the raw outcome of one federated farm simulation — the
 // measurements behind the farm panels (power, sleep counts, overload
-// fraction versus dispatcher policy).
+// fraction versus dispatcher policy). Its JSON encoding is part of
+// recorded results (engine.Result), so the tags are explicit and pinned
+// to the historical field names.
+//
+//ealb:digest
 type FarmRun struct {
-	Clusters   int
-	Size       int // servers per cluster
-	Band       workload.Band
-	Dispatch   string
-	Before     [5]int // farm-wide regime distribution at t=0
-	After      [5]int // farm-wide regime distribution after the run (awake servers)
-	Stats      []farm.IntervalStats
-	Sleeping   int     // servers asleep at the end, farm-wide
-	AvgAsleep  float64 // mean sleeping count across intervals
-	Dispatched int     // arrivals placed by the front-end
-	Rejected   int     // arrivals no cluster could admit
-	Energy     float64 // total Joules, farm-wide
-	Wakes      int
-	Migrations int
+	Clusters   int                  `json:"Clusters"`
+	Size       int                  `json:"Size"` // servers per cluster
+	Band       workload.Band        `json:"Band"`
+	Dispatch   string               `json:"Dispatch"`
+	Before     [5]int               `json:"Before"` // farm-wide regime distribution at t=0
+	After      [5]int               `json:"After"`  // farm-wide regime distribution after the run (awake servers)
+	Stats      []farm.IntervalStats `json:"Stats"`
+	Sleeping   int                  `json:"Sleeping"`   // servers asleep at the end, farm-wide
+	AvgAsleep  float64              `json:"AvgAsleep"`  // mean sleeping count across intervals
+	Dispatched int                  `json:"Dispatched"` // arrivals placed by the front-end
+	Rejected   int                  `json:"Rejected"`   // arrivals no cluster could admit
+	Energy     float64              `json:"Energy"`     // total Joules, farm-wide
+	Wakes      int                  `json:"Wakes"`
+	Migrations int                  `json:"Migrations"`
 	// Resilience measurements (all zero — availability 1 — for
 	// churn-free runs): cumulative farm-wide failures/repairs, orphaned
 	// applications re-placed and lost, and the mean live-server fraction
 	// across intervals.
-	Failures     int
-	Repairs      int
-	AppsReplaced int
-	AppsLost     int
-	Availability float64
+	Failures     int     `json:"Failures"`
+	Repairs      int     `json:"Repairs"`
+	AppsReplaced int     `json:"AppsReplaced"`
+	AppsLost     int     `json:"AppsLost"`
+	Availability float64 `json:"Availability"`
 }
 
 // farmRegimes sums the per-cluster awake regime counts.

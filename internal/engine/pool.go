@@ -179,7 +179,7 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 	// Queue wait is measured from Map entry: a job's wait includes time
 	// spent behind earlier jobs of the same call as well as other
 	// callers holding the pool-wide slots.
-	tSubmit := time.Now()
+	tSubmit := time.Now() //ealb:allow-nondet queue-wait metric; wall time never reaches simulation state
 	if p.workers == 1 {
 		// Inline fast path: no goroutines, but still through the
 		// pool-wide slot so concurrent callers serialize.
@@ -187,10 +187,10 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 		for i := 0; i < n; i++ {
 			p.slots <- struct{}{}
 			p.jobsStarted.Add(1)
-			start := time.Now()
+			start := time.Now() //ealb:allow-nondet job-duration metric; wall time never reaches simulation state
 			p.queueWait.Observe(start.Sub(tSubmit))
 			err := p.run(ctx, i, fn)
-			p.runDur.Observe(time.Since(start))
+			p.runDur.Observe(time.Since(start)) //ealb:allow-nondet job-duration metric; observational only
 			<-p.slots
 			if err != nil && first == nil {
 				first = err
@@ -214,10 +214,10 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 				// goroutines only shape this call's fan-out.
 				p.slots <- struct{}{}
 				p.jobsStarted.Add(1)
-				start := time.Now()
+				start := time.Now() //ealb:allow-nondet job-duration metric; wall time never reaches simulation state
 				p.queueWait.Observe(start.Sub(tSubmit))
 				errs[i] = p.run(ctx, i, fn)
-				p.runDur.Observe(time.Since(start))
+				p.runDur.Observe(time.Since(start)) //ealb:allow-nondet job-duration metric; observational only
 				<-p.slots
 			}
 		}()

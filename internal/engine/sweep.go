@@ -33,6 +33,8 @@ const MaxScenarioJobs = 4096
 // farm sweeps, and profiles → server counts → seeds → replications for
 // policy sweeps — and every cell records its fully normalized Scenario,
 // so any cell can be re-run individually with a bit-identical result.
+//
+//ealb:digest
 type SweepSpec struct {
 	Scenario
 
@@ -331,6 +333,8 @@ func copyRate(p *float64) *float64 {
 // SweepResult is the outcome of a sweep: the normalized spec, every
 // cell's result in expansion order, and per-parameter-combination
 // aggregate statistics.
+//
+//ealb:digest
 type SweepResult struct {
 	Spec       SweepSpec   `json:"spec"`
 	Cells      []Result    `json:"cells"`

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc guards the allocation-free interval path won in PR 3
+// (allocs/op per interval 28,381 → 1,148 at 10⁴ servers). Functions
+// annotated //ealb:hotpath — the leader's plan/apply pass, the churn
+// step, the farm's per-interval phases — may not use the
+// allocation-prone constructs that quietly reintroduce garbage:
+// map/slice literals, make/new, closures, fmt formatting, and append
+// onto storage that is fresh every call instead of a persistent scratch
+// buffer.
+//
+// Two escape valves keep the rule honest. A formatting call whose
+// result is immediately returned is a cold failure path (the simulation
+// is aborting) and is exempt structurally; everything else needs an
+// //ealb:allow-alloc annotation stating why the allocation is
+// acceptable (e.g. it happens only on rare events, or the value must
+// escape into a result).
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flag allocation-prone constructs (map/slice literals, make/new, " +
+		"closures, fmt.Sprintf-family calls, append to per-call storage) inside " +
+		"functions annotated //ealb:hotpath, unless annotated " +
+		"//ealb:allow-alloc <reason>; error-return formatting is exempt",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.sourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !docHasMarker(fd.Doc, noteHotpath) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkHotFunc inspects one annotated function body with an enclosing
+// node stack, so return-statement context is visible.
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	var stack []ast.Node
+	report := func(pos token.Pos, format string, args ...any) {
+		if !pass.suppressed(noteAllowAlloc, pos) {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			switch pass.Info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "hot path allocates a map literal; hoist it into persistent state")
+			case *types.Slice:
+				report(n.Pos(), "hot path allocates a slice literal; hoist it into a reused scratch buffer")
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "hot path allocates a closure; hoist it or annotate //ealb:allow-alloc with why the event is rare")
+		case *ast.CallExpr:
+			checkHotCall(pass, n, stack, report)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// fmtFamily is the set of formatting calls that always allocate their
+// result.
+var fmtFamily = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, stack []ast.Node, report func(token.Pos, string, ...any)) {
+	// Builtins: make, new, append.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				report(call.Pos(), "hot path calls make; allocate once outside the interval loop and reuse")
+			case "new":
+				report(call.Pos(), "hot path calls new; allocate once outside the interval loop and reuse")
+			case "append":
+				if len(call.Args) > 0 && freshStorage(pass, call.Args[0]) {
+					report(call.Pos(), "hot path appends to storage that is fresh on every call; append into a persistent scratch slice instead")
+				}
+			}
+			return
+		}
+	}
+	// fmt formatting. A call returned directly is the cold failure path:
+	// the simulation is already aborting, so the allocation never shows
+	// up in steady state.
+	if name, ok := qualifiedCall(pass.Info, call, "fmt"); ok && fmtFamily[name] {
+		if !returnedDirectly(call, stack) {
+			report(call.Pos(), "hot path formats with fmt.%s (allocates); precompute, or annotate //ealb:allow-alloc", name)
+		}
+	}
+}
+
+// returnedDirectly reports whether the call is an operand of the
+// nearest enclosing return statement — i.e. its value is produced only
+// to abort the caller.
+func returnedDirectly(call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	ret, ok := stack[len(stack)-1].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, res := range ret.Results {
+		if res == ast.Expr(call) {
+			return true
+		}
+	}
+	return false
+}
+
+// freshStorage reports whether the expression denotes backing storage
+// created anew on every execution of the enclosing function — the
+// append pattern that defeats scratch-buffer reuse.
+func freshStorage(pass *Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		// make(...) or a conversion like []T(nil) is fresh; any other
+		// call is assumed to hand back reused storage (AppendX-style
+		// helpers do).
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "make" {
+				return true
+			}
+		}
+		if _, isType := pass.Info.Types[e.Fun]; isType && pass.Info.Types[e.Fun].IsType() {
+			return true
+		}
+		return false
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return true
+		}
+		return freshLocal(pass, e)
+	default:
+		// Selectors, index expressions, slicings: persistent or
+		// caller-owned storage.
+		return false
+	}
+}
+
+// freshLocal reports whether an identifier names a local variable whose
+// declaration creates fresh storage (nil var, literal, or make) rather
+// than borrowing a persistent buffer (x := s.buf[:0] and friends).
+func freshLocal(pass *Pass, id *ast.Ident) bool {
+	obj := pass.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Parent() == nil || v.Parent() == v.Pkg().Scope() {
+		return false // package-level or field: persistent
+	}
+	decl := declExprOf(pass, obj)
+	if decl == nil {
+		// No declaring node found: a parameter or range variable —
+		// caller-owned storage, conservatively treated as reused.
+		return false
+	}
+	if decl == uninitVar {
+		// var x []T with no initializer inside the function: a nil
+		// slice, fresh on every call.
+		return true
+	}
+	switch decl := decl.(type) {
+	case *ast.Ident:
+		return decl.Name == "nil"
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		return freshStorage(pass, decl)
+	}
+	return false
+}
+
+// uninitVar is declExprOf's sentinel for a var declaration without an
+// initializer.
+var uninitVar ast.Expr = &ast.BadExpr{}
+
+// declExprOf finds the initializer expression of a function-local
+// variable, or the uninitVar sentinel for an uninitialized var
+// declaration, or nil when no declaration is found (parameters, range
+// variables).
+func declExprOf(pass *Pass, obj types.Object) ast.Expr {
+	var found ast.Expr
+	for _, f := range pass.Files {
+		if obj.Pos() < f.Pos() || obj.Pos() > f.End() {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok != token.DEFINE {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || pass.Info.Defs[id] != obj {
+						continue
+					}
+					if len(n.Rhs) == len(n.Lhs) {
+						found = n.Rhs[i]
+					} else if len(n.Rhs) == 1 {
+						found = n.Rhs[0]
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if pass.Info.Defs[name] != obj {
+						continue
+					}
+					if len(n.Values) > i {
+						found = n.Values[i]
+					} else if len(n.Values) == 0 {
+						found = uninitVar
+					}
+				}
+			}
+			return true
+		})
+	}
+	return found
+}

@@ -1,0 +1,11 @@
+// Package fixture carries a suppression annotation with no reason: the
+// wall-clock read below it is suppressed, but the bare annotation is a
+// finding of its own.
+package fixture
+
+import "time"
+
+func stamp() time.Time {
+	//ealb:allow-nondet
+	return time.Now()
+}

@@ -1,0 +1,31 @@
+// Package fixture seeds detrand violations. The lint tests load it
+// under a deterministic import path (a cluster pseudo-subpackage) where
+// every finding below must fire, and again under a non-deterministic
+// path where none may.
+package fixture
+
+import (
+	_ "math/rand" // want `deterministic package imports math/rand`
+	"time"
+)
+
+func clocks() time.Duration {
+	t0 := time.Now()   // want `reads the wall clock via time\.Now`
+	_ = time.Since(t0) // want `reads the wall clock via time\.Since`
+
+	t1 := time.Now() //ealb:allow-nondet lifecycle metadata, outside the simulated world
+
+	d := time.Until(t1) // want `reads the wall clock via time\.Until`
+	return d
+}
+
+func sum(m map[int]int) int {
+	var s int
+	for _, v := range m { // want `ranges over a map`
+		s += v
+	}
+	for k := range m { //ealb:allow-nondet iteration order erased by the summation
+		s += k
+	}
+	return s
+}

@@ -1,0 +1,38 @@
+// Package fixture seeds jsontag violations on an //ealb:digest struct,
+// alongside the legal shapes: explicit tags, bare `json:",omitempty"`,
+// `json:"-"`, unexported fields, embedded digest types, and structs
+// that never opted in.
+package fixture
+
+// Meta is embedded in digest types; it carries its own digest marker,
+// which is where its promoted fields are checked.
+//
+//ealb:digest
+type Meta struct {
+	Rev int `json:"Rev"`
+}
+
+// Record feeds a golden digest.
+//
+//ealb:digest
+type Record struct {
+	Meta
+	ID   int      `json:"ID"`
+	Name string   // want `exported field Name has no explicit json tag`
+	Mean *float64 `json:"Mean"` // want `optional \(pointer\) field Mean must be .json:"\.\.\.,omitempty".`
+	Ok   *bool    `json:"Ok,omitempty"`
+	Note string   `json:",omitempty"`
+	Skip string   `json:"-"`
+
+	inner int
+}
+
+// Loose never opted in: implicit wire names are its own business.
+type Loose struct {
+	X int
+}
+
+//ealb:digest
+type NotAStruct int // want `//ealb:digest applies to struct types only`
+
+func (r Record) sum() int { return r.ID + r.inner }

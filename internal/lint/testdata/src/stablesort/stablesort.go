@@ -1,0 +1,17 @@
+// Package fixture seeds stablesort violations: the non-stable sorts
+// are banned module-wide, their stable replacements are not, and an
+// //ealb:allow-nondet annotation with a tie-freedom argument escapes.
+package fixture
+
+import "sort"
+
+func sortAll(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort\.Slice breaks comparator ties unpredictably; use sort\.SliceStable`
+	sort.Sort(sort.IntSlice(xs))                                 // want `sort\.Sort breaks comparator ties unpredictably; use sort\.Stable`
+
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	sort.Stable(sort.IntSlice(xs))
+
+	//ealb:allow-nondet the keys are unique sequence numbers, so no comparator ties exist
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

@@ -1,0 +1,63 @@
+// Package fixture seeds tracenil violations against the real
+// trace.Tracer interface, alongside the two guard shapes the analyzer
+// accepts and the //ealb:tracer-checked escape.
+package fixture
+
+import "ealb/internal/trace"
+
+type config struct {
+	Tracer trace.Tracer
+}
+
+type emitter struct {
+	tr  trace.Tracer
+	cfg config
+}
+
+func (e *emitter) bad() {
+	e.tr.Event(trace.Event{}) // want `trace\.Tracer call is not dominated by a nil check; guard with .if e\.tr != nil.`
+}
+
+func (e *emitter) guarded() {
+	if e.tr != nil {
+		e.tr.Event(trace.Event{})
+	}
+}
+
+func (e *emitter) conjunct(on bool) {
+	if on && e.tr != nil {
+		e.tr.Event(trace.Event{})
+	}
+}
+
+func (e *emitter) wrongBranch() {
+	if e.tr != nil {
+		_ = on
+	} else {
+		e.tr.Event(trace.Event{}) // want `not dominated by a nil check`
+	}
+}
+
+func (e *emitter) early() {
+	if e.tr == nil {
+		return
+	}
+	e.tr.Event(trace.Event{})
+}
+
+func (e *emitter) chain() {
+	if e.cfg.Tracer == nil {
+		return
+	}
+	e.cfg.Tracer.Event(trace.Event{})
+}
+
+func (e *emitter) annotated() {
+	e.tr.Event(trace.Event{}) //ealb:tracer-checked constructed non-nil by the test harness
+}
+
+func param(tr trace.Tracer) {
+	tr.Event(trace.Event{}) // want `not dominated by a nil check`
+}
+
+var on = true

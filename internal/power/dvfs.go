@@ -40,7 +40,9 @@ func NewDVFS(base Model, states []PState) (*DVFS, error) {
 		}
 	}
 	sorted := append([]PState(nil), states...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Freq > sorted[j].Freq })
+	// Stable keeps declaration order between equal-frequency states, so
+	// a curve with duplicate frequencies still sorts reproducibly.
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Freq > sorted[j].Freq })
 	return &DVFS{Base: base, States: sorted}, nil
 }
 

@@ -40,10 +40,14 @@ func (k Kind) String() string {
 	}
 }
 
-// Counts tallies the decisions of one reallocation interval.
+// Counts tallies the decisions of one reallocation interval. It is
+// embedded in cluster.IntervalStats' pinned JSON encoding, so the wire
+// names are explicit (and equal to the historical field names).
+//
+//ealb:digest
 type Counts struct {
-	Local     int // vertical decisions
-	InCluster int // horizontal decisions
+	Local     int `json:"Local"`     // vertical decisions
+	InCluster int `json:"InCluster"` // horizontal decisions
 }
 
 // Ratio returns in-cluster/local. When no local decision occurred in the

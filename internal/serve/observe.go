@@ -83,10 +83,10 @@ func (s *Server) routeStats(route string) *routeMetrics {
 // unbounded label values.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := time.Now() //ealb:allow-nondet HTTP latency metric; outside the simulated world
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //ealb:allow-nondet HTTP latency metric; outside the simulated world
 		route := r.Pattern
 		if route == "" {
 			route = "unmatched"
@@ -229,6 +229,7 @@ func (s *Server) appendHistMetrics(b []byte) []byte {
 
 	s.httpMu.Lock()
 	routes := make([]string, 0, len(s.routes))
+	//ealb:allow-nondet iteration order erased by the sort.Strings below
 	for route := range s.routes {
 		routes = append(routes, route)
 	}

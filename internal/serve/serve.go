@@ -68,6 +68,8 @@ func Statuses() []string {
 // Run is one submitted request and, once finished, its result. A
 // single-scenario request (the v1 body) reports Scenario and Result; a
 // sweep request reports Spec and Sweep.
+//
+//ealb:digest
 type Run struct {
 	ID     string `json:"id"`
 	Status string `json:"status"`
@@ -108,6 +110,8 @@ type Run struct {
 }
 
 // summary is the list view of a run: everything but the full result.
+//
+//ealb:digest
 type summary struct {
 	ID       string            `json:"id"`
 	Status   string            `json:"status"`
@@ -188,6 +192,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 	}
 	s.mu.Lock()
+	//ealb:allow-nondet cancel fan-out is order-insensitive; every run is cancelled
 	for _, run := range s.runs {
 		if run.cancel != nil {
 			run.cancel()
@@ -271,7 +276,7 @@ func (s *Server) newRun(ex engine.ExpandedSweep, single bool, cancel context.Can
 	run := &Run{
 		ID:       fmt.Sprintf("run-%06d", s.nextID),
 		Status:   StatusQueued,
-		Created:  time.Now().UTC(),
+		Created:  time.Now().UTC(), //ealb:allow-nondet wall-clock run timestamp; lifecycle metadata, not simulation state
 		seq:      s.nextID,
 		expanded: ex,
 		single:   single,
@@ -297,7 +302,7 @@ func (s *Server) newRun(ex engine.ExpandedSweep, single bool, cancel context.Can
 
 // execute runs the spec and records the outcome.
 func (s *Server) execute(ctx context.Context, run *Run) {
-	now := time.Now().UTC()
+	now := time.Now().UTC() //ealb:allow-nondet wall-clock run timestamp; lifecycle metadata, not simulation state
 	s.mu.Lock()
 	run.Status = StatusRunning
 	run.Started = &now
@@ -319,7 +324,7 @@ func (s *Server) execute(ctx context.Context, run *Run) {
 	}
 	res, err := s.pool.RunExpandedTraced(ctx, run.expanded, observe, tracerFor)
 
-	end := time.Now().UTC()
+	end := time.Now().UTC() //ealb:allow-nondet wall-clock run timestamp; lifecycle metadata, not simulation state
 	s.mu.Lock()
 	run.Finished = &end
 	switch {
@@ -416,6 +421,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		s   summary
 	}
 	rows := make([]row, 0, len(s.runs))
+	//ealb:allow-nondet iteration order erased by the seq sort below
 	for _, run := range s.runs {
 		if status != "" && run.Status != status {
 			continue
@@ -426,7 +432,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		}})
 	}
 	s.mu.Unlock()
-	sort.Slice(rows, func(i, j int) bool { return rows[i].seq < rows[j].seq })
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].seq < rows[j].seq })
 	if limit >= 0 && len(rows) > limit {
 		// Newest last: the tail of the ordered list is the most recent.
 		rows = rows[len(rows)-limit:]
@@ -667,6 +673,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	st := s.pool.Stats()
 	s.mu.Lock()
 	var queued, running, done, failed, cancelled int
+	//ealb:allow-nondet status counting is iteration-order-insensitive
 	for _, run := range s.runs {
 		switch run.Status {
 		case StatusQueued:

@@ -32,6 +32,7 @@ func BurstRate(base, height float64, start, period, width units.Seconds, count i
 // ProfileNames lists the named rate profiles Profile accepts, sorted.
 func ProfileNames() []string {
 	names := make([]string, 0, len(profileBuilders))
+	//ealb:allow-nondet iteration order erased by the sort.Strings below
 	for n := range profileBuilders {
 		names = append(names, n)
 	}
