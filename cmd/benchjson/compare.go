@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// compare implements `benchjson -baseline old.json new.json`: it matches
+// the two artifacts' benchmarks by package and name, prints the ns/op and
+// allocs/op deltas, and reports whether any benchmark regressed past the
+// threshold (a fraction: 0.25 means +25%). CI runs this as an advisory
+// step — `-benchtime 1x` smoke numbers are noisy, so the nonzero exit
+// flags the PR for a human look rather than failing the build.
+
+// procSuffix is the GOMAXPROCS suffix `go test` appends to benchmark
+// names (`-8`). It varies with the runner's core count and says nothing
+// about the code, so matching strips it.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func benchKey(b benchmark) string {
+	return b.Pkg + "." + procSuffix.ReplaceAllString(b.Name, "")
+}
+
+func loadArtifact(path string) (artifact, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return artifact{}, err
+	}
+	var art artifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		return artifact{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(art.Schema, "ealb-bench/") {
+		return artifact{}, fmt.Errorf("%s: unknown schema %q", path, art.Schema)
+	}
+	return art, nil
+}
+
+// delta returns the relative change from old to new (0.25 = +25%).
+func delta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV
+}
+
+func formatDelta(d float64) string {
+	return fmt.Sprintf("%+.1f%%", d*100)
+}
+
+// compareArtifacts writes the delta table to w and returns the number of
+// benchmarks whose ns/op or allocs/op regressed past threshold.
+func compareArtifacts(w io.Writer, oldArt, newArt artifact, threshold float64) int {
+	oldBy := make(map[string]benchmark, len(oldArt.Benchmarks))
+	for _, b := range oldArt.Benchmarks {
+		oldBy[benchKey(b)] = b
+	}
+	keys := make([]string, 0, len(newArt.Benchmarks))
+	newBy := make(map[string]benchmark, len(newArt.Benchmarks))
+	for _, b := range newArt.Benchmarks {
+		k := benchKey(b)
+		newBy[k] = b
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	regressions := 0
+	fmt.Fprintf(w, "%-64s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "Δns/op", "Δallocs")
+	for _, k := range keys {
+		nb := newBy[k]
+		ob, ok := oldBy[k]
+		if !ok {
+			fmt.Fprintf(w, "%-64s %14s %14.0f %9s %9s\n", k, "(new)", nb.NsPerOp, "-", "-")
+			continue
+		}
+		dNs := delta(ob.NsPerOp, nb.NsPerOp)
+		allocsCol := "-"
+		regressed := dNs > threshold
+		if ob.AllocsPerOp != nil && nb.AllocsPerOp != nil {
+			dAllocs := delta(float64(*ob.AllocsPerOp), float64(*nb.AllocsPerOp))
+			allocsCol = formatDelta(dAllocs)
+			regressed = regressed || dAllocs > threshold
+		}
+		mark := ""
+		if regressed {
+			mark = "  << regression"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-64s %14.0f %14.0f %9s %9s%s\n",
+			k, ob.NsPerOp, nb.NsPerOp, formatDelta(dNs), allocsCol, mark)
+	}
+	for k := range oldBy {
+		if _, ok := newBy[k]; !ok {
+			fmt.Fprintf(w, "%-64s %14s\n", k, "(removed)")
+		}
+	}
+	return regressions
+}
+
+// runCompare loads both artifacts and writes the report; the error is
+// non-nil when regressions exceed the threshold so main exits nonzero.
+func runCompare(oldPath, newPath string, threshold float64, w io.Writer) error {
+	oldArt, err := loadArtifact(oldPath)
+	if err != nil {
+		return err
+	}
+	newArt, err := loadArtifact(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "baseline %s (PR %d) vs %s (PR %d), threshold %+.0f%%\n",
+		oldPath, oldArt.PR, newPath, newArt.PR, threshold*100)
+	if n := compareArtifacts(w, oldArt, newArt, threshold); n > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", n, threshold*100)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeArtifact(t *testing.T, dir, name string, art artifact) string {
+	t.Helper()
+	raw, err := json.Marshal(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func mkBench(pkg, name string, ns float64, allocs int64) benchmark {
+	return benchmark{Pkg: pkg, Name: name, Iterations: 1, NsPerOp: ns, AllocsPerOp: &allocs}
+}
+
+func TestBenchKeyStripsProcSuffix(t *testing.T) {
+	a := mkBench("p", "BenchmarkX/size=100-8", 1, 0)
+	b := mkBench("p", "BenchmarkX/size=100-16", 1, 0)
+	if benchKey(a) != benchKey(b) {
+		t.Errorf("keys differ across GOMAXPROCS suffixes: %q vs %q", benchKey(a), benchKey(b))
+	}
+	// The size parameter is part of the identity, not a proc suffix.
+	c := mkBench("p", "BenchmarkX/size=1000-8", 1, 0)
+	if benchKey(a) == benchKey(c) {
+		t.Errorf("different sizes collapsed to one key %q", benchKey(a))
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", artifact{
+		Schema: "ealb-bench/v1", PR: 6,
+		Benchmarks: []benchmark{
+			mkBench("ealb/internal/cluster", "BenchmarkA-8", 1000, 10),
+			mkBench("ealb/internal/cluster", "BenchmarkB-8", 1000, 10),
+			mkBench("ealb/internal/cluster", "BenchmarkGone-8", 1000, 10),
+		},
+	})
+	newPath := writeArtifact(t, dir, "new.json", artifact{
+		Schema: "ealb-bench/v1", PR: 8,
+		Benchmarks: []benchmark{
+			mkBench("ealb/internal/cluster", "BenchmarkA-8", 1100, 10),  // +10%: within threshold
+			mkBench("ealb/internal/cluster", "BenchmarkB-8", 2000, 10),  // +100%: regression
+			mkBench("ealb/internal/cluster", "BenchmarkNew-8", 500, 10), // no baseline: informational
+		},
+	})
+
+	var sb strings.Builder
+	err := runCompare(oldPath, newPath, 0.25, &sb)
+	if err == nil {
+		t.Fatal("doubled ns/op within a 25% threshold did not error")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "<< regression") {
+		t.Errorf("report lacks a regression marker:\n%s", out)
+	}
+	if !strings.Contains(out, "(new)") || !strings.Contains(out, "(removed)") {
+		t.Errorf("report lacks new/removed annotations:\n%s", out)
+	}
+
+	// A looser threshold accepts the same pair.
+	sb.Reset()
+	if err := runCompare(oldPath, newPath, 1.5, &sb); err != nil {
+		t.Errorf("threshold 150%% still failed: %v", err)
+	}
+}
+
+func TestCompareAllocsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", artifact{
+		Schema: "ealb-bench/v1",
+		Benchmarks: []benchmark{
+			mkBench("p", "BenchmarkAllocs-8", 1000, 100),
+		},
+	})
+	// ns/op flat, allocs/op tripled: still a regression.
+	newPath := writeArtifact(t, dir, "new.json", artifact{
+		Schema: "ealb-bench/v1",
+		Benchmarks: []benchmark{
+			mkBench("p", "BenchmarkAllocs-8", 1000, 300),
+		},
+	})
+	if err := runCompare(oldPath, newPath, 0.25, &strings.Builder{}); err == nil {
+		t.Error("tripled allocs/op not flagged")
+	}
+}
+
+func TestCompareRejectsForeignSchema(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9","benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ok := writeArtifact(t, dir, "ok.json", artifact{Schema: "ealb-bench/v1"})
+	if err := runCompare(bad, ok, 0.25, &strings.Builder{}); err == nil {
+		t.Error("foreign schema accepted as baseline")
+	}
+}

@@ -21,6 +21,15 @@
 // Lines that are not benchmark results (pass/fail summaries, pkg
 // headers) parameterize or skip; ns/op is always present, B/op and
 // allocs/op when -benchmem was given.
+//
+// Compare mode diffs two artifacts instead of converting (compare.go):
+//
+//	benchjson -baseline BENCH_6.json BENCH_8.json
+//
+// prints per-benchmark ns/op and allocs/op deltas (matched by package and
+// name, GOMAXPROCS suffix stripped) and exits nonzero when any benchmark
+// regressed past -threshold (default +25%). CI runs it as an advisory
+// step against the previous PR's artifact.
 package main
 
 import (
@@ -56,10 +65,23 @@ type artifact struct {
 
 func main() {
 	var (
-		pr  = flag.Int("pr", 0, "PR number recorded in the artifact (names BENCH_<pr>.json)")
-		out = flag.String("o", "", "output file (default stdout)")
+		pr        = flag.Int("pr", 0, "PR number recorded in the artifact (names BENCH_<pr>.json)")
+		out       = flag.String("o", "", "output file (default stdout)")
+		baseline  = flag.Bool("baseline", false, "compare two artifacts: benchjson -baseline old.json new.json")
+		threshold = flag.Float64("threshold", 0.25, "regression threshold for -baseline (0.25 = +25%)")
 	)
 	flag.Parse()
+	if *baseline {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -baseline needs exactly two artifacts: old.json new.json")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, *pr, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

@@ -14,6 +14,9 @@ type Manager struct {
 	peak  units.Watts
 
 	state CState
+	// cur caches specs[state] so the per-interval accounting of a parked
+	// server (SleepPower) never touches the spec map.
+	cur Spec
 	// busyUntil is the simulation time at which the in-flight transition
 	// (if any) completes; the manager rejects new transitions before then.
 	busyUntil units.Seconds
@@ -23,6 +26,12 @@ type Manager struct {
 	sleepCount       int
 }
 
+// sharedDefaultSpecs is the one default spec table all default-configured
+// managers share. Managers only ever read their table, so sharing it (even
+// across clusters simulated in parallel) is safe and saves one 7-entry map
+// per server — which matters when a farm instantiates 10⁶ of them.
+var sharedDefaultSpecs = DefaultSpecs()
+
 // NewManager returns a manager for a server with the given peak power,
 // starting in C0 (all servers begin operational, per §4). A nil specs map
 // selects DefaultSpecs.
@@ -31,14 +40,14 @@ func NewManager(peak units.Watts, specs map[CState]Spec) (*Manager, error) {
 		return nil, fmt.Errorf("acpi: non-positive peak power %v", peak)
 	}
 	if specs == nil {
-		specs = DefaultSpecs()
+		specs = sharedDefaultSpecs
 	}
 	for c := C0; c <= C6; c++ {
 		if _, ok := specs[c]; !ok {
 			return nil, fmt.Errorf("acpi: specs missing %v", c)
 		}
 	}
-	return &Manager{specs: specs, peak: peak, state: C0}, nil
+	return &Manager{specs: specs, peak: peak, state: C0, cur: specs[C0]}, nil
 }
 
 // Reset returns the manager to its initial state — C0, no transition in
@@ -51,6 +60,7 @@ func (m *Manager) Reset(peak units.Watts) error {
 	}
 	m.peak = peak
 	m.state = C0
+	m.cur = m.specs[C0]
 	m.busyUntil = 0
 	m.transitionEnergy = 0
 	m.wakeCount = 0
@@ -105,6 +115,7 @@ func (m *Manager) Sleep(target CState, now units.Seconds) (units.Seconds, error)
 	// magnitude.
 	m.transitionEnergy += units.Energy(spec.SleepPower(m.peak), spec.EnterLatency)
 	m.state = target
+	m.cur = spec
 	m.busyUntil = now + spec.EnterLatency
 	m.sleepCount++
 	return m.busyUntil, nil
@@ -120,9 +131,10 @@ func (m *Manager) Wake(now units.Seconds) (units.Seconds, error) {
 	if m.Busy(now) {
 		return 0, fmt.Errorf("acpi: transition in flight until %v", m.busyUntil)
 	}
-	spec := m.specs[m.state]
+	spec := m.cur
 	m.transitionEnergy += spec.WakeEnergy(m.peak)
 	m.state = C0
+	m.cur = m.specs[C0]
 	m.busyUntil = now + spec.WakeLatency
 	m.wakeCount++
 	return m.busyUntil, nil
@@ -137,6 +149,7 @@ func (m *Manager) Wake(now units.Seconds) (units.Seconds, error) {
 // a repaired server provably rejoins in C0 with nothing armed.
 func (m *Manager) Crash() {
 	m.state = C0
+	m.cur = m.specs[C0]
 	m.busyUntil = 0
 }
 
@@ -147,5 +160,5 @@ func (m *Manager) SleepPower() units.Watts {
 	if m.state == C0 {
 		panic("acpi: SleepPower while running; use the power model")
 	}
-	return m.specs[m.state].SleepPower(m.peak)
+	return m.cur.SleepPower(m.peak)
 }

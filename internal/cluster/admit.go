@@ -59,6 +59,7 @@ func (c *Cluster) Admit(demand units.Fraction) (server.ID, bool, error) {
 	if err := dst.Place(h, c.now); err != nil {
 		return 0, false, err
 	}
+	c.idx.markDirty(dst.ID())
 	// The front-end's placement command is a control-plane message from
 	// the leader hub to the chosen host.
 	if _, err := c.net.Send(netsim.LeaderNode, netsim.NodeID(dst.ID()), netsim.MsgCandidateList, netsim.ControlMsgSize); err != nil {

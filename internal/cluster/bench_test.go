@@ -15,8 +15,13 @@ import (
 // allocs/op column is the headline number of the leader-state refactor
 // (see EXPERIMENTS.md for the before/after trajectory).
 func BenchmarkClusterIntervals(b *testing.B) {
-	for _, size := range []int{100, 1000, 10000} {
+	for _, size := range []int{100, 1000, 10000, 100000, 1000000} {
 		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			if size >= 1000000 && testing.Short() {
+				// The 10⁶ showcase builds a multi-GB fleet; CI's smoke run
+				// (-short) stops at 10⁵.
+				b.Skip("skipping 10⁶-server showcase in short mode")
+			}
 			c, err := New(DefaultConfig(size, workload.LowLoad(), 1))
 			if err != nil {
 				b.Fatal(err)

@@ -283,6 +283,10 @@ type Cluster struct {
 	// scratch (see leader.go).
 	leader leaderState
 
+	// idx is the incrementally maintained fleet mirror the leader pass
+	// and the public fleet accessors read (see index.go).
+	idx serverIndex
+
 	migrationEnergy    units.Joules
 	migrations         int
 	intervalMigrations int
@@ -317,11 +321,10 @@ type Cluster struct {
 	wakeEvents []eventsim.Handle
 
 	// Arenas and scratch buffers reused across Rebuilds and intervals.
-	appArena      arena[app.App]
-	vmArena       arena[vm.VM]
-	hostedScratch []server.Hosted
-	sizeScratch   []units.Fraction
-	appScratch    []*app.App
+	appArena    arena[app.App]
+	vmArena     arena[vm.VM]
+	sizeScratch []units.Fraction
+	appScratch  []*app.App
 }
 
 // New builds and populates a cluster: per-server regime boundaries drawn
@@ -411,6 +414,27 @@ func (c *Cluster) Rebuild(cfg Config) error {
 	clear(c.wakeEvents)
 	c.seedChurn()
 	c.leader.init(cfg.Size)
+	if c.leader.donorCmp == nil {
+		// Built once per Cluster (Rebuild reuses it): the relief donor
+		// order — R5 before R4, larger excess first, ID tiebreak. Relief
+		// sorts before any planned move, so the flushed index columns are
+		// exactly the projected state the comparator must rank.
+		c.leader.donorCmp = func(a, b server.ID) int {
+			ix := &c.idx
+			ra, rb := ix.reg[a], ix.reg[b]
+			if ra != rb {
+				return int(rb) - int(ra)
+			}
+			ea, eb := ix.bounds[a].Excess(ix.load[a]), ix.bounds[b].Excess(ix.load[b])
+			if ea != eb {
+				if ea > eb {
+					return -1
+				}
+				return 1
+			}
+			return int(a) - int(b)
+		}
+	}
 	c.appArena.reset()
 	c.vmArena.reset()
 
@@ -492,6 +516,7 @@ func (c *Cluster) Rebuild(cfg Config) error {
 			}
 		}
 	}
+	c.rebuildIndex()
 	return nil
 }
 
@@ -551,35 +576,47 @@ func (c *Cluster) Interval() int { return c.interval }
 
 // SleepingCount returns how many servers are currently in a sleep state.
 func (c *Cluster) SleepingCount() int {
-	n := 0
-	for _, s := range c.servers {
-		if s.Sleeping() {
-			n++
-		}
-	}
-	return n
+	return len(c.idx.sleepers)
 }
 
 // ClusterLoad returns total hosted load divided by total capacity —
-// the quantity the 60% sleep rule tests.
+// the quantity the 60% sleep rule tests. The sum runs over the index's
+// load column in server-ID order, matching the historical per-server
+// scan bit for bit.
 func (c *Cluster) ClusterLoad() units.Fraction {
+	c.flushIndex()
 	var sum float64
-	for _, s := range c.servers {
-		sum += float64(s.Load())
+	for _, load := range c.idx.load {
+		sum += float64(load)
 	}
 	return units.Fraction(sum / float64(len(c.servers)))
 }
 
-// RegimeCounts classifies the awake servers into the five regions
-// (index 0 = R1). Sleeping and failed servers are excluded — they are
-// reported separately, as in Table 2.
-func (c *Cluster) RegimeCounts() [5]int {
-	var out [5]int
-	for _, s := range c.servers {
-		if s.Sleeping() || c.failed[s.ID()] {
+// AwakeHeadroom returns the total optimal-region headroom of the awake,
+// healthy fleet — the spare-capacity signal the farm dispatcher weighs
+// arrivals by — summed in server-ID order from the index.
+func (c *Cluster) AwakeHeadroom() float64 {
+	c.flushIndex()
+	ix := &c.idx
+	var sum float64
+	for i := range ix.load {
+		if ix.sleeping[i] || c.failed[i] {
 			continue
 		}
-		out[s.Regime()-regime.R1]++
+		sum += float64(ix.bounds[i].Headroom(ix.load[i]))
+	}
+	return sum
+}
+
+// RegimeCounts classifies the awake servers into the five regions
+// (index 0 = R1). Sleeping and failed servers are excluded — they are
+// reported separately, as in Table 2. The counts are the index's bucket
+// sizes: membership is exactly "not sleeping and not failed".
+func (c *Cluster) RegimeCounts() [5]int {
+	c.flushIndex()
+	var out [5]int
+	for b := range c.idx.buckets {
+		out[b] = len(c.idx.buckets[b])
 	}
 	return out
 }

@@ -47,6 +47,11 @@ func (c *Cluster) FailServer(id server.ID) (replaced, lost int, err error) {
 	c.failed[id] = true
 	c.failedCount++
 	c.failures++
+	// Mirror the crash in the leader's index: out of every membership
+	// set, ACPI reset to C0 with nothing armed, and the (soon-emptied)
+	// demand entry marked stale.
+	c.idx.onCrash(id)
+	c.idx.markDirty(id)
 	// Under churn every failure — stochastic or manual — holds the
 	// server down for an exponential ~MTTR repair time.
 	c.armRepair(int(id))
@@ -100,6 +105,8 @@ func (c *Cluster) Repair(id server.ID) error {
 	c.failed[id] = false
 	c.failedCount--
 	c.repairs++
+	// The rejoiner is an index member again (empty, awake in C0).
+	c.idx.onRepair(id)
 	// Under churn the rejoiner draws a fresh ~MTBF time-to-failure (its
 	// old deadline has necessarily passed — it just crashed on it).
 	c.armFailure(int(id))
@@ -139,6 +146,8 @@ func (c *Cluster) serverByID(id server.ID) (*server.Server, error) {
 }
 
 // active reports whether a server takes part in the protocol right now.
+// It reads the index mirror (activeID), which the maintenance hooks keep
+// exactly equal to !failed && !Sleeping() && !CStateBusy(now).
 func (c *Cluster) active(s *server.Server) bool {
-	return !c.failed[s.ID()] && !s.Sleeping() && !s.CStateBusy(c.now)
+	return c.activeID(s.ID())
 }

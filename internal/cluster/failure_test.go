@@ -192,6 +192,9 @@ func TestFailWhileSleeping(t *testing.T) {
 	if err := victim.Place(h, c.Now()); err != nil {
 		t.Fatalf("repaired server cannot host: %v", err)
 	}
+	// Placing behind the cluster's back bypasses the leader-index hooks;
+	// reconcile before the next interval reads the index.
+	c.syncServer(victim.ID())
 	if _, err := c.RunIntervals(context.Background(), 3); err != nil {
 		t.Fatal(err)
 	}
@@ -227,6 +230,9 @@ func TestFailWhileCStateBusy(t *testing.T) {
 	if err := victim.Sleep(acpi.C6, c.Now()); err != nil {
 		t.Fatal(err)
 	}
+	// Parking behind the cluster's back bypasses the leader-index hooks;
+	// reconcile so the index sees the sleeper.
+	c.syncServer(victim.ID())
 	if !victim.CStateBusy(c.Now()) {
 		t.Fatal("sleep entry not in flight; test setup broken")
 	}
@@ -246,6 +252,7 @@ func TestFailWhileCStateBusy(t *testing.T) {
 	if err := victim.Sleep(acpi.C6, c.Now()); err != nil {
 		t.Fatal(err)
 	}
+	c.syncServer(victim.ID())
 	if _, err := c.RunIntervals(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}

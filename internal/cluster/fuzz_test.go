@@ -95,6 +95,10 @@ func FuzzPlanBalance(f *testing.F) {
 		if err := c.applyBalance(plan); err != nil {
 			t.Fatalf("apply of a verified plan failed: %v", err)
 		}
+		// Index invariant: after churn, admissions, crashes, plan, and
+		// apply, the incremental index agrees entry-for-entry with a full
+		// rescan of the live servers (the classifier it replaced).
+		verifyIndexAgainstRescan(t, c)
 		// Post-apply: consolidation actually reclaimed what it planned.
 		for _, a := range plan.actions {
 			if a.kind != actSleep {

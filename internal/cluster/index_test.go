@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"ealb/internal/regime"
+	"ealb/internal/server"
+	"ealb/internal/units"
+	"ealb/internal/workload"
+	"ealb/internal/xrand"
+)
+
+// verifyIndexAgainstRescan is the differential oracle: it re-derives every
+// server's raw demand, load, regime, ACPI mirror, and set membership from
+// the live *server.Server values — the full O(N) rescan the incremental
+// index replaced — and fails on any divergence. The comparisons are exact
+// (==, not within-epsilon): the index contract is that flushed entries are
+// bit-identical to the live accessors, because plan construction folds
+// these floats into digested statistics.
+func verifyIndexAgainstRescan(t *testing.T, c *Cluster) {
+	t.Helper()
+	c.flushIndex()
+	ix := &c.idx
+	if len(ix.dirtyIDs) != 0 {
+		t.Fatalf("dirty queue non-empty after flush: %v", ix.dirtyIDs)
+	}
+	var members, sleepers int
+	for i, s := range c.servers {
+		id := server.ID(i)
+		if ix.dirty[id] {
+			t.Fatalf("server %d still dirty-flagged after flush", id)
+		}
+		if got, want := ix.bounds[id], s.Boundaries(); got != want {
+			t.Fatalf("server %d: index bounds %+v, live %+v", id, got, want)
+		}
+		if got, want := ix.raw[id], s.RawDemand(); got != want {
+			t.Fatalf("server %d: index raw %v, rescan %v", id, got, want)
+		}
+		if got, want := ix.load[id], s.Load(); got != want {
+			t.Fatalf("server %d: index load %v, rescan %v", id, got, want)
+		}
+		if got, want := ix.reg[id], s.Regime(); got != want {
+			t.Fatalf("server %d: index regime %v, rescan %v", id, got, want)
+		}
+		if got, want := ix.sleeping[id], s.Sleeping(); got != want {
+			t.Fatalf("server %d: index sleeping=%v, live %v", id, got, want)
+		}
+		// busyUntil is compared through the predicate consumers read:
+		// crash resets the mirror to zero while the ACPI manager keeps its
+		// historical completion time, so the raw columns legitimately
+		// differ on repaired servers — the in-flight-transition answer
+		// must not.
+		if got, want := ix.busyUntil[id] > c.now, s.CStateBusy(c.now); got != want {
+			t.Fatalf("server %d: index busy=%v (until %v, now %v), live %v",
+				id, got, ix.busyUntil[id], c.now, want)
+		}
+		if s.Sleeping() {
+			lat, err := s.WakeLatency()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ix.wakeLat[id] != lat {
+				t.Fatalf("server %d: index wakeLat %v, live %v", id, ix.wakeLat[id], lat)
+			}
+		}
+
+		// Set membership: a server is in exactly the sets the rescan
+		// classifier puts it in, at the position the pos column claims.
+		wantMember := !c.failed[id] && !s.Sleeping()
+		if pos := ix.bucketPos[id]; wantMember {
+			b := int(ix.reg[id] - regime.R1)
+			if pos == noPos {
+				t.Fatalf("server %d: rescan says member of bucket %v, index says non-member", id, ix.reg[id])
+			}
+			if got := ix.buckets[b][pos]; got != id {
+				t.Fatalf("server %d: bucketPos %d holds server %d", id, pos, got)
+			}
+			members++
+		} else if pos != noPos {
+			t.Fatalf("server %d: rescan says non-member (failed=%v sleeping=%v), index bucketPos=%d",
+				id, c.failed[id], s.Sleeping(), pos)
+		}
+		wantSleeper := s.Sleeping() && !c.failed[id]
+		if pos := ix.sleeperPos[id]; wantSleeper {
+			if pos == noPos {
+				t.Fatalf("server %d: rescan says sleeper, index says not", id)
+			}
+			if got := ix.sleepers[pos]; got != id {
+				t.Fatalf("server %d: sleeperPos %d holds server %d", id, pos, got)
+			}
+			sleepers++
+		} else if pos != noPos {
+			t.Fatalf("server %d: rescan says non-sleeper, index sleeperPos=%d", id, pos)
+		}
+	}
+	// No phantom entries: set cardinalities match the rescan counts, so
+	// every bucket element is accounted for by some server's pos column.
+	if got := len(ix.buckets[0]) + len(ix.buckets[1]) + len(ix.buckets[2]) + len(ix.buckets[3]) + len(ix.buckets[4]); got != members {
+		t.Fatalf("buckets hold %d members, rescan counted %d", got, members)
+	}
+	if got := len(ix.sleepers); got != sleepers {
+		t.Fatalf("sleeper set holds %d, rescan counted %d", got, sleepers)
+	}
+}
+
+// TestIndexDifferentialOracle drives randomized interval evolution,
+// admissions, crashes, repairs, and in-place Rebuilds against several
+// cluster configurations and cross-checks the incremental index against
+// the full-rescan classifier after every step. This is the property test
+// backing the index's maintenance contract: any missed hook, stale dirty
+// entry, or bucket-accounting bug diverges from the rescan here long
+// before it corrupts a golden digest.
+func TestIndexDifferentialOracle(t *testing.T) {
+	for _, seed := range []uint64{1, 2014, 0xdeadbeef} {
+		cfg := DefaultConfig(60, workload.LowLoad(), seed)
+		if seed%2 == 0 {
+			cfg.InitialLoad = workload.HighLoad()
+		}
+		// Stochastic churn on: crashes and repairs fire organically inside
+		// RunIntervals, exercising onCrash/onRepair under the oracle.
+		cfg.MTBF = 15 * cfg.Tau
+		cfg.MTTR = 4 * cfg.Tau
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyIndexAgainstRescan(t, c)
+
+		rng := xrand.New(seed ^ 0xa5a5)
+		for step := 0; step < 40; step++ {
+			switch rng.Intn(10) {
+			case 0: // manual crash of a random server
+				id := server.ID(rng.Intn(len(c.servers)))
+				if _, _, err := c.FailServer(id); err != nil && !c.Failed(id) {
+					t.Fatal(err)
+				}
+			case 1: // manual repair of the first failed server, if any
+				for i := range c.servers {
+					if c.failed[i] {
+						if err := c.Repair(server.ID(i)); err != nil {
+							t.Fatal(err)
+						}
+						break
+					}
+				}
+			case 2: // admission of a fresh application
+				demand := units.Fraction(0.02 + 0.1*rng.Float64())
+				if _, _, err := c.Admit(demand); err != nil {
+					t.Fatal(err)
+				}
+			case 3: // in-place Rebuild with a rotated seed: full re-seed path
+				cfg.Seed = seed + uint64(step)
+				if err := c.Rebuild(cfg); err != nil {
+					t.Fatal(err)
+				}
+			default: // evolve: demand walk, churn, balance, sleep/wake
+				if _, err := c.RunIntervals(context.Background(), 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			verifyIndexAgainstRescan(t, c)
+		}
+	}
+}

@@ -9,7 +9,16 @@ package cluster
 // state. Decisions that depend on the loads earlier decisions will have
 // produced (an acceptor filling up, a relief donor draining) read them
 // through a projected-load view: a dense, server-ID-indexed overlay over
-// the live cluster that tracks the planned placement changes.
+// the incremental index (index.go) that tracks the planned placement
+// changes.
+//
+// The plan step never dereferences a *server.Server for load, regime,
+// capacity, or sleep state: those live in the index's structure-of-arrays
+// columns, flushed to O(changed) cost at the start of the pass. Donor and
+// acceptor candidate lists come from the index's regime buckets instead
+// of a fleet scan, so list construction costs O(|relevant buckets|), and
+// the wake pick scans only the sleeper set. Server pointers appear only
+// where hosted app lists are materialized into the projection.
 //
 // Two properties are load-bearing and guarded by the golden digest test:
 //
@@ -21,7 +30,11 @@ package cluster
 //     maintained exactly as server.RawDemand would compute it after the
 //     move — ordered summation over the working app list on removal,
 //     running addition on append — so plan-time comparisons see
-//     bit-identical values to the ones apply-time state produces.
+//     bit-identical values to the ones apply-time state produces. Bucket
+//     iteration order is deterministic but not ID-sorted; every list
+//     built from buckets is therefore sorted by a total order (each
+//     sorter ends in an ID tiebreak), which pins the same final sequence
+//     the historical ID-order scans produced.
 //
 // All plan state lives in leaderState, owned by the Cluster and reused
 // across intervals: dense slices indexed by server ID replace the
@@ -30,7 +43,7 @@ package cluster
 // allocation-free.
 
 import (
-	"sort"
+	"slices"
 
 	"ealb/internal/acpi"
 	"ealb/internal/app"
@@ -38,6 +51,9 @@ import (
 	"ealb/internal/server"
 	"ealb/internal/units"
 )
+
+// noServer is the plan-side "no candidate" sentinel.
+const noServer server.ID = -1
 
 // actKind discriminates the entries of a balance plan.
 type actKind uint8
@@ -87,12 +103,10 @@ type leaderState struct {
 	r1Streak []int
 	r4Streak []int
 
-	// Plan scratch: awake roster, relief/consolidation donor and acceptor
-	// lists, and the plan under construction.
-	awake     []*server.Server
-	donors    []*server.Server
-	acceptors []*server.Server
-	plan      balancePlan
+	// Plan scratch: the relief donor ID list (built from the index's
+	// regime buckets) and the plan under construction.
+	donors []server.ID
+	plan   balancePlan
 
 	// Projected-load view. A server is "touched" once a planned move
 	// involves it; from then on its working app list and raw demand sum
@@ -116,16 +130,95 @@ type leaderState struct {
 	// appsScratch holds one donor's demand-sorted app list at a time.
 	appsScratch []server.Hosted
 
-	// Persistent sorter headers so sort.Stable gets a pointer to existing
-	// storage instead of escaping a fresh value per interval.
-	donorSort    reliefDonorSorter
-	acceptorSort acceptorSorter
-	consolSort   consolDonorSorter
+	// Lazy candidate selections: relief acceptors (fullest first) and
+	// consolidation donors (emptiest first). Only the consumed prefix of
+	// each order is ever materialized; see lazySelection.
+	acceptorSel lazySelection
+	consolSel   lazySelection
+
+	// donorCmp is the relief donor comparator, built once per Cluster on
+	// the cold Rebuild path so the per-interval sort call passes a
+	// preallocated func value instead of allocating a fresh closure.
+	donorCmp func(a, b server.ID) int
+}
+
+// lazySelection yields server IDs in ascending (key, ID) order without
+// sorting the whole candidate set: the candidates sit in a binary heap
+// and are popped into the materialized prefix on demand. Because the
+// keys are snapshotted at build time and (key, ID) is a strict total
+// order, the materialized sequence is exactly what a stable sort of the
+// full set under the same comparator would produce — the golden digests
+// that pin the leader's shed and sleep order cannot tell the two apart.
+// The plan pass typically consumes a short prefix (bounded by the relief
+// and consolidation budgets), so the O(n log n) tail is never paid.
+//
+// Descending orders negate the key (exact for floats; equal keys stay
+// equal, so the ID tiebreak is unaffected).
+type lazySelection struct {
+	key    []units.Fraction // dense snapshot keys, indexed by server ID
+	heap   []server.ID      // unmaterialized candidates, heap-ordered
+	sorted []server.ID      // materialized prefix, in final order
+}
+
+// before reports whether a precedes b in the selection order.
+func (z *lazySelection) before(a, b server.ID) bool {
+	if z.key[a] != z.key[b] {
+		return z.key[a] < z.key[b]
+	}
+	return a < b
+}
+
+func (z *lazySelection) siftDown(i int) {
+	h := z.heap
+	for {
+		l := 2*i + 1
+		if l >= len(h) || l < 0 {
+			return
+		}
+		best := l
+		if r := l + 1; r < len(h) && z.before(h[r], h[l]) {
+			best = r
+		}
+		if !z.before(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// build heapifies the candidates currently in z.heap (Floyd's method,
+// O(n)) and resets the materialized prefix. Keys must already be set.
+func (z *lazySelection) build() {
+	for i := len(z.heap)/2 - 1; i >= 0; i-- {
+		z.siftDown(i)
+	}
+	z.sorted = z.sorted[:0]
+}
+
+// at returns the i-th element of the selection order, materializing lazily;
+// ok is false past the end of the candidate set.
+func (z *lazySelection) at(i int) (server.ID, bool) {
+	for len(z.sorted) <= i {
+		h := z.heap
+		if len(h) == 0 {
+			return 0, false
+		}
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		z.heap = h[:last]
+		if last > 0 {
+			z.siftDown(0)
+		}
+		z.sorted = append(z.sorted, top)
+	}
+	return z.sorted[i], true
 }
 
 // evacMove is one step of an evacuation attempt before it commits.
 type evacMove struct {
-	dst *server.Server
+	dst server.ID
 	h   server.Hosted
 }
 
@@ -148,6 +241,8 @@ func (ls *leaderState) init(n int) {
 	ls.plannedSleep = resize(ls.plannedSleep, n)
 	ls.plannedWake = resize(ls.plannedWake, n)
 	ls.projected = resize(ls.projected, n)
+	ls.acceptorSel.key = resize(ls.acceptorSel.key, n)
+	ls.consolSel.key = resize(ls.consolSel.key, n)
 	clear(ls.r1Streak)
 	clear(ls.r4Streak)
 	clear(ls.viewTouched)
@@ -162,9 +257,11 @@ func (ls *leaderState) init(n int) {
 	ls.touched = ls.touched[:0]
 	ls.planned = ls.planned[:0]
 	ls.projTouched = ls.projTouched[:0]
-	ls.awake = ls.awake[:0]
 	ls.donors = ls.donors[:0]
-	ls.acceptors = ls.acceptors[:0]
+	ls.acceptorSel.heap = ls.acceptorSel.heap[:0]
+	ls.acceptorSel.sorted = ls.acceptorSel.sorted[:0]
+	ls.consolSel.heap = ls.consolSel.heap[:0]
+	ls.consolSel.sorted = ls.consolSel.sorted[:0]
 	ls.plan.actions = ls.plan.actions[:0]
 	ls.plan.woken = 0
 	ls.evacMoves = ls.evacMoves[:0]
@@ -197,61 +294,62 @@ func rawSum(hs []server.Hosted) units.Fraction {
 	return sum
 }
 
-// planTouch materializes the working copy of s's hosted list on first
-// contact with the plan.
-func (c *Cluster) planTouch(s *server.Server) {
+// planTouch materializes the working copy of id's hosted list on first
+// contact with the plan — the only plan-side read that follows the
+// server pointer (the app list lives there).
+func (c *Cluster) planTouch(id server.ID) {
 	ls := &c.leader
-	id := int(s.ID())
 	if ls.viewTouched[id] {
 		return
 	}
 	ls.viewTouched[id] = true
-	ls.touched = append(ls.touched, s.ID())
-	ls.viewApps[id] = s.AppendHosted(ls.viewApps[id][:0])
+	ls.touched = append(ls.touched, id)
+	ls.viewApps[id] = c.servers[id].AppendHosted(ls.viewApps[id][:0])
 	ls.viewRaw[id] = rawSum(ls.viewApps[id])
 }
 
-// planLoad returns s's load as the plan's moves so far would leave it.
-func (c *Cluster) planLoad(s *server.Server) units.Fraction {
-	if id := int(s.ID()); c.leader.viewTouched[id] {
+// planLoad returns id's load as the plan's moves so far would leave it:
+// the projected sum for touched servers, the index column otherwise.
+func (c *Cluster) planLoad(id server.ID) units.Fraction {
+	if c.leader.viewTouched[id] {
 		return c.leader.viewRaw[id].Clamp()
 	}
-	return s.Load()
+	return c.idx.load[id]
 }
 
-// planRegime classifies s's projected load.
-func (c *Cluster) planRegime(s *server.Server) regime.Region {
-	return s.Boundaries().Classify(c.planLoad(s))
+// planRegime classifies id's projected load.
+func (c *Cluster) planRegime(id server.ID) regime.Region {
+	return c.idx.bounds[id].Classify(c.planLoad(id))
 }
 
-// planExcess returns s's projected load above its optimal region.
-func (c *Cluster) planExcess(s *server.Server) units.Fraction {
-	return s.Boundaries().Excess(c.planLoad(s))
+// planExcess returns id's projected load above its optimal region.
+func (c *Cluster) planExcess(id server.ID) units.Fraction {
+	return c.idx.bounds[id].Excess(c.planLoad(id))
 }
 
 // planFits reports whether dst can take demand under the limit, seen
 // through the projection.
-func (c *Cluster) planFits(dst *server.Server, demand units.Fraction, limit acceptLimit) bool {
-	return c.planLoad(dst)+demand <= limit.bound(dst)
+func (c *Cluster) planFits(dst server.ID, demand units.Fraction, limit acceptLimit) bool {
+	return c.planLoad(dst)+demand <= limit.limitAt(c.idx.bounds[dst])
 }
 
 // planActive reports whether a server can take part in further planning:
 // live-active and not already slated for sleep by this plan. (A server
 // slated for wake-up is still Sleeping live, so it stays excluded — just
 // as the historical code's in-flight wake transition excluded it.)
-func (c *Cluster) planActive(s *server.Server) bool {
-	return c.active(s) && !c.leader.plannedSleep[s.ID()]
+func (c *Cluster) planActive(id server.ID) bool {
+	return c.activeID(id) && !c.leader.plannedSleep[id]
 }
 
-// planAppsByDemand fills the shared scratch with s's projected app list,
+// planAppsByDemand fills the shared scratch with id's projected app list,
 // demand-sorted the way the shed loop consumes it. Valid until the next
 // call.
-func (c *Cluster) planAppsByDemand(s *server.Server) []server.Hosted {
+func (c *Cluster) planAppsByDemand(id server.ID) []server.Hosted {
 	ls := &c.leader
-	if id := int(s.ID()); ls.viewTouched[id] {
+	if ls.viewTouched[id] {
 		ls.appsScratch = append(ls.appsScratch[:0], ls.viewApps[id]...)
 	} else {
-		ls.appsScratch = s.AppendHosted(ls.appsScratch[:0])
+		ls.appsScratch = c.servers[id].AppendHosted(ls.appsScratch[:0])
 	}
 	server.SortByDemand(ls.appsScratch)
 	return ls.appsScratch
@@ -262,33 +360,33 @@ func (c *Cluster) planAppsByDemand(s *server.Server) []server.Hosted {
 // ordered summation (floating-point subtraction would drift from what the
 // server computes after the real removal); dst appends h and its sum
 // grows by running addition, exactly matching RawDemand after Place.
-func (c *Cluster) planMove(src, dst *server.Server, h server.Hosted) {
+func (c *Cluster) planMove(src, dst server.ID, h server.Hosted) {
 	c.planTouch(src)
 	c.planTouch(dst)
 	ls := &c.leader
-	si, di := int(src.ID()), int(dst.ID())
-	apps := ls.viewApps[si]
+	apps := ls.viewApps[src]
 	for i := range apps {
 		if apps[i].App.ID == h.App.ID {
 			apps = append(apps[:i], apps[i+1:]...)
 			break
 		}
 	}
-	ls.viewApps[si] = apps
-	ls.viewRaw[si] = rawSum(apps)
-	ls.viewApps[di] = append(ls.viewApps[di], h)
-	ls.viewRaw[di] += h.App.Demand
+	ls.viewApps[src] = apps
+	ls.viewRaw[src] = rawSum(apps)
+	ls.viewApps[dst] = append(ls.viewApps[dst], h)
+	ls.viewRaw[dst] += h.App.Demand
 	ls.plan.actions = append(ls.plan.actions, action{
-		kind: actMove, src: src.ID(), dst: dst.ID(), app: h.App.ID,
+		kind: actMove, src: src, dst: dst, app: h.App.ID,
 	})
 }
 
 // planClusterLoad is ClusterLoad through the projection: total projected
-// load over total capacity, summed in server order like the live version.
+// load over total capacity, summed in server-ID order like the live
+// version.
 func (c *Cluster) planClusterLoad() units.Fraction {
 	var sum float64
-	for _, s := range c.servers {
-		sum += float64(c.planLoad(s))
+	for i := range c.idx.load {
+		sum += float64(c.planLoad(server.ID(i)))
 	}
 	return units.Fraction(sum / float64(len(c.servers)))
 }
@@ -312,20 +410,20 @@ func (c *Cluster) planSleepTarget() acpi.CState {
 // planFindAcceptor samples a bounded candidate list (the leader's
 // MsgCandidateList) and returns the best-fitting eligible server under
 // the projection: the most loaded one that still fits, concentrating load
-// per the paper's reformulated load balancing goal. Returns nil when no
-// candidate fits.
-func (c *Cluster) planFindAcceptor(demand units.Fraction, exclude *server.Server, limit acceptLimit) *server.Server {
-	var best *server.Server
+// per the paper's reformulated load balancing goal. Returns noServer when
+// no candidate fits.
+func (c *Cluster) planFindAcceptor(demand units.Fraction, exclude server.ID, limit acceptLimit) server.ID {
+	best := noServer
 	var bestLoad units.Fraction
 	for i := 0; i < candidateSample; i++ {
-		cand := c.servers[c.rng.Intn(len(c.servers))]
+		cand := server.ID(c.rng.Intn(len(c.servers)))
 		if cand == exclude || !c.planActive(cand) {
 			continue
 		}
 		if !c.planFits(cand, demand, limit) {
 			continue
 		}
-		if load := c.planLoad(cand); best == nil || load > bestLoad {
+		if load := c.planLoad(cand); best == noServer || load > bestLoad {
 			best, bestLoad = cand, load
 		}
 	}
@@ -342,15 +440,17 @@ func (c *Cluster) planFindAcceptor(demand units.Fraction, exclude *server.Server
 func (c *Cluster) planBalance() (*balancePlan, error) {
 	ls := &c.leader
 	ls.beginPlan()
+	// Reconcile the index once; the whole pass then runs on its columns.
+	c.flushIndex()
 
-	// Step 1: every awake server reports its regime to the leader.
-	ls.awake = ls.awake[:0]
-	for _, s := range c.servers {
-		if !c.active(s) {
+	// Step 1: every awake server reports its regime to the leader, in
+	// server-ID order (the report replay order is pinned by the traces).
+	for i := range c.servers {
+		id := server.ID(i)
+		if !c.activeID(id) {
 			continue
 		}
-		ls.awake = append(ls.awake, s)
-		ls.plan.actions = append(ls.plan.actions, action{kind: actReport, src: s.ID()})
+		ls.plan.actions = append(ls.plan.actions, action{kind: actReport, src: id})
 	}
 
 	if err := c.planRelief(); err != nil {
@@ -366,32 +466,64 @@ func (c *Cluster) planBalance() (*balancePlan, error) {
 // plan. R5 servers that find no target cause the leader to wake a
 // sleeping server (§4 step 5).
 //
+// Donors and acceptors come from the index's regime buckets rather than a
+// fleet scan: relief runs before any planned move, so the projected
+// regime of every server still equals its live (bucketed) regime. Members
+// mid-wake are filtered by busyUntil, completing the historical active
+// check. The bucket orders are deterministic but arbitrary; the stable
+// sorts below impose a total order (ID tiebreak), reproducing exactly the
+// sequence the historical ID-order scan fed them.
+//
 //ealb:hotpath
 func (c *Cluster) planRelief() error {
 	ls := &c.leader
+	ix := &c.idx
 	ls.donors = ls.donors[:0]
-	ls.acceptors = ls.acceptors[:0]
-	for _, s := range ls.awake {
-		switch {
-		case c.planRegime(s) == regime.R5:
+	for _, id := range ix.buckets[regime.R5-regime.R1] {
+		if ix.busyUntil[id] <= c.now {
 			// Undesirable-high: immediate attention (§4).
-			ls.donors = append(ls.donors, s)
-		case c.planRegime(s) == regime.R4 && (c.planExcess(s) >= 0.05 || ls.r4Streak[s.ID()] >= 2):
-			// Suboptimal-high "does not require immediate attention"
-			// (§4): act when the deviation is large or has persisted —
-			// the paper notes the time spent in a non-optimal region
-			// matters, not just being there.
-			ls.donors = append(ls.donors, s)
-		case c.planRegime(s).Underloaded():
-			ls.acceptors = append(ls.acceptors, s)
+			ls.donors = append(ls.donors, id)
 		}
 	}
-	// Most urgent first: R5 before R4, larger excess first.
-	ls.donorSort = reliefDonorSorter{c: c, s: ls.donors}
-	sort.Stable(&ls.donorSort)
-	// Fullest acceptors first: concentrate load.
-	ls.acceptorSort = acceptorSorter{c: c, s: ls.acceptors}
-	sort.Stable(&ls.acceptorSort)
+	for _, id := range ix.buckets[regime.R4-regime.R1] {
+		// Suboptimal-high "does not require immediate attention" (§4):
+		// act when the deviation is large or has persisted — the paper
+		// notes the time spent in a non-optimal region matters, not just
+		// being there.
+		if ix.busyUntil[id] <= c.now && (ix.bounds[id].Excess(ix.load[id]) >= 0.05 || ls.r4Streak[id] >= 2) {
+			ls.donors = append(ls.donors, id)
+		}
+	}
+	if len(ls.donors) == 0 {
+		// Nothing overloaded: the acceptor order would never be read.
+		// Skipping its construction has no observable effect (building
+		// and ordering candidates draws no randomness).
+		return nil
+	}
+	// Most urgent first: R5 before R4, larger excess first, ID tiebreak.
+	// No plan move has happened yet, so projected state equals the index
+	// columns; the comparator reads them directly. The tiebreak makes the
+	// order a strict total one — the sorted sequence is unique, so any
+	// correct sort reproduces the historical order regardless of how the
+	// buckets permuted the input.
+	slices.SortStableFunc(ls.donors, ls.donorCmp)
+	// Fullest acceptors first to concentrate load, materialized lazily:
+	// the shed loop usually reads only the first few candidates, so the
+	// full R1∪R2 membership is heapified (O(n)) but never fully sorted.
+	// Keys are the flushed index loads — snapshotted, exactly what an
+	// eager pre-move sort would have compared — negated for descending
+	// order.
+	sel := &ls.acceptorSel
+	sel.heap = sel.heap[:0]
+	for r := regime.R1; r <= regime.R2; r++ {
+		for _, id := range ix.buckets[r-regime.R1] {
+			if ix.busyUntil[id] <= c.now {
+				sel.key[id] = -ix.load[id]
+				sel.heap = append(sel.heap, id)
+			}
+		}
+	}
+	sel.build()
 
 	// The leader's relief capacity per interval: spreading the initial
 	// rebalancing storm over several intervals rather than resolving it
@@ -407,20 +539,24 @@ func (c *Cluster) planRelief() error {
 		for c.planRegime(d).Overloaded() && sheds < maxShedsPerDonor && totalSheds < reliefBudget {
 			moved := false
 			for _, h := range c.planAppsByDemand(d) {
-				var dst *server.Server
-				for _, a := range ls.acceptors {
+				dst := noServer
+				for i := 0; ; i++ {
+					a, ok := ls.acceptorSel.at(i)
+					if !ok {
+						break
+					}
 					if a != d && c.planFits(a, h.App.Demand, acceptToOptHigh) {
 						dst = a
 						break
 					}
 				}
-				if dst == nil && urgent {
+				if dst == noServer && urgent {
 					// R5 requires immediate attention (§4): when no
 					// underloaded partner exists the leader widens the
 					// search to any server with optimal-region headroom.
 					dst = c.planFindAcceptor(h.App.Demand, d, acceptToOptHigh)
 				}
-				if dst == nil {
+				if dst == noServer {
 					continue
 				}
 				c.planMove(d, dst, h)
@@ -435,11 +571,7 @@ func (c *Cluster) planRelief() error {
 		}
 		if urgent && c.planRegime(d) == regime.R5 {
 			// Still undesirable and nothing accepted: wake capacity.
-			ok, err := c.planWake()
-			if err != nil {
-				return err
-			}
-			if ok {
+			if c.planWake() {
 				ls.plan.woken++
 			}
 		}
@@ -449,30 +581,30 @@ func (c *Cluster) planRelief() error {
 
 // planWake picks the sleeping server with the shortest wake latency (C3
 // before C6) that the plan has not already claimed, and records the
-// wake-up. It reports whether any server was picked.
-func (c *Cluster) planWake() (bool, error) {
+// wake-up. It reports whether any server was picked. The scan covers
+// only the index's sleeper set; the (latency, ID)-lexicographic minimum
+// equals the historical full scan's first-minimal-latency pick.
+func (c *Cluster) planWake() bool {
 	ls := &c.leader
-	var pick *server.Server
+	ix := &c.idx
+	pick := noServer
 	var pickLat units.Seconds
-	for _, s := range c.servers {
-		if !s.Sleeping() || s.CStateBusy(c.now) || c.failed[s.ID()] || ls.plannedWake[s.ID()] {
+	for _, id := range ix.sleepers {
+		if ix.busyUntil[id] > c.now || c.failed[id] || ls.plannedWake[id] {
 			continue
 		}
-		lat, err := s.WakeLatency()
-		if err != nil {
-			return false, err
-		}
-		if pick == nil || lat < pickLat {
-			pick, pickLat = s, lat
+		lat := ix.wakeLat[id]
+		if pick == noServer || lat < pickLat || (lat == pickLat && id < pick) {
+			pick, pickLat = id, lat
 		}
 	}
-	if pick == nil {
-		return false, nil
+	if pick == noServer {
+		return false
 	}
-	ls.plannedWake[pick.ID()] = true
-	ls.planned = append(ls.planned, pick.ID())
-	ls.plan.actions = append(ls.plan.actions, action{kind: actWake, src: pick.ID()})
-	return true, nil
+	ls.plannedWake[pick] = true
+	ls.planned = append(ls.planned, pick)
+	ls.plan.actions = append(ls.plan.actions, action{kind: actWake, src: pick})
+	return true
 }
 
 // planConsolidation empties persistent R1 servers into other servers and
@@ -481,32 +613,66 @@ func (c *Cluster) planWake() (bool, error) {
 // budget. The sleep state follows the 60% rule (§6) unless forced by the
 // policy.
 //
+// Candidates are the R1 bucket's members whose projected regime is still
+// R1, plus the plan-touched servers the relief pass drained *into* R1
+// (their live bucket is still R4/R5); only load-shedding can lower a
+// projected load, and every shed server is touched, so the two sources
+// together are exactly the historical full scan's candidate set. The
+// consolidation sort's total order (load, then ID) pins the final
+// sequence.
+//
 //ealb:hotpath
 func (c *Cluster) planConsolidation() {
 	ls := &c.leader
+	ix := &c.idx
 	target := c.planSleepTarget()
-	ls.donors = ls.donors[:0]
-	for _, s := range ls.awake {
-		if c.planRegime(s) == regime.R1 && ls.r1Streak[s.ID()] >= c.cfg.SleepHysteresis {
-			ls.donors = append(ls.donors, s)
+	// Emptiest first — fewest migrations per reclaimed server — with the
+	// budgeted consumption loop materializing the order lazily. Keys are
+	// the candidates' projected loads snapshotted here, which is what an
+	// eager sort running at this point would have compared throughout
+	// (sorting mutates nothing); later evacuation moves can change a
+	// candidate's projected load, but not its snapshotted rank.
+	sel := &ls.consolSel
+	sel.heap = sel.heap[:0]
+	for _, id := range ix.buckets[0] { // live-R1 members
+		if ix.busyUntil[id] > c.now {
+			continue
+		}
+		if c.planRegime(id) == regime.R1 && ls.r1Streak[id] >= c.cfg.SleepHysteresis {
+			sel.key[id] = c.planLoad(id)
+			sel.heap = append(sel.heap, id)
 		}
 	}
-	// Emptiest first: fewest migrations per reclaimed server.
-	ls.consolSort = consolDonorSorter{c: c, s: ls.donors}
-	sort.Stable(&ls.consolSort)
+	for _, id := range ls.touched {
+		if ix.reg[id] == regime.R1 {
+			continue // covered by the bucket scan above
+		}
+		if !c.activeID(id) {
+			continue
+		}
+		if c.planRegime(id) == regime.R1 && ls.r1Streak[id] >= c.cfg.SleepHysteresis {
+			sel.key[id] = c.planLoad(id)
+			sel.heap = append(sel.heap, id)
+		}
+	}
+	sel.build()
 
 	budget := c.cfg.ConsolidationBudget
 	slept := 0
-	for _, d := range ls.donors {
+	for i := 0; ; i++ {
+		d, ok := sel.at(i)
+		if !ok {
+			break
+		}
 		if budget > 0 && slept >= budget {
 			break
 		}
 		if !c.planEvacuation(d) {
 			continue
 		}
-		ls.plan.actions = append(ls.plan.actions, action{kind: actSleep, src: d.ID(), target: target})
-		ls.plannedSleep[d.ID()] = true
-		ls.planned = append(ls.planned, d.ID())
+		ls.plan.actions = append(ls.plan.actions, action{kind: actSleep, src: d, target: target})
+		ls.plannedSleep[d] = true
+		ls.planned = append(ls.planned, d)
 		slept++
 	}
 }
@@ -517,7 +683,7 @@ func (c *Cluster) planConsolidation() {
 // evacuation would spend migrations without reclaiming a server), and a
 // failed attempt leaves the projection untouched — only the RNG advances,
 // exactly as the historical implementation's discarded plan did.
-func (c *Cluster) planEvacuation(d *server.Server) bool {
+func (c *Cluster) planEvacuation(d server.ID) bool {
 	ls := &c.leader
 	limit := acceptToOptMid
 	if c.cfg.ConservativeConsolidation {
@@ -526,30 +692,30 @@ func (c *Cluster) planEvacuation(d *server.Server) bool {
 	ls.evacMoves = ls.evacMoves[:0]
 	ok := true
 	for _, h := range c.planAppsByDemand(d) {
-		var dst *server.Server
+		dst := noServer
 		// Bounded candidate search, like every other leader query.
 		var bestLoad units.Fraction
 		for i := 0; i < candidateSample; i++ {
-			cand := c.servers[c.rng.Intn(len(c.servers))]
+			cand := server.ID(c.rng.Intn(len(c.servers)))
 			if cand == d || !c.planActive(cand) {
 				continue
 			}
-			load := c.planLoad(cand) + ls.projected[cand.ID()]
-			if load+h.App.Demand > limit.bound(cand) {
+			load := c.planLoad(cand) + ls.projected[cand]
+			if load+h.App.Demand > limit.limitAt(c.idx.bounds[cand]) {
 				continue
 			}
-			if dst == nil || load > bestLoad {
+			if dst == noServer || load > bestLoad {
 				dst, bestLoad = cand, load
 			}
 		}
-		if dst == nil {
+		if dst == noServer {
 			ok = false
 			break
 		}
-		if ls.projected[dst.ID()] == 0 {
-			ls.projTouched = append(ls.projTouched, dst.ID())
+		if ls.projected[dst] == 0 {
+			ls.projTouched = append(ls.projTouched, dst)
 		}
-		ls.projected[dst.ID()] += h.App.Demand
+		ls.projected[dst] += h.App.Demand
 		ls.evacMoves = append(ls.evacMoves, evacMove{dst: dst, h: h})
 	}
 	// Drop the per-attempt overlay either way; on success the moves
@@ -565,59 +731,4 @@ func (c *Cluster) planEvacuation(d *server.Server) bool {
 		c.planMove(d, mv.dst, mv.h)
 	}
 	return true
-}
-
-// reliefDonorSorter orders relief donors most-urgent first: R5 before R4,
-// larger excess first, ID as the deterministic tiebreak.
-type reliefDonorSorter struct {
-	c *Cluster
-	s []*server.Server
-}
-
-func (o *reliefDonorSorter) Len() int      { return len(o.s) }
-func (o *reliefDonorSorter) Swap(i, j int) { o.s[i], o.s[j] = o.s[j], o.s[i] }
-func (o *reliefDonorSorter) Less(i, j int) bool {
-	ri, rj := o.c.planRegime(o.s[i]), o.c.planRegime(o.s[j])
-	if ri != rj {
-		return ri > rj
-	}
-	ei, ej := o.c.planExcess(o.s[i]), o.c.planExcess(o.s[j])
-	if ei != ej {
-		return ei > ej
-	}
-	return o.s[i].ID() < o.s[j].ID()
-}
-
-// acceptorSorter orders relief acceptors fullest first to concentrate
-// load, ID as the deterministic tiebreak.
-type acceptorSorter struct {
-	c *Cluster
-	s []*server.Server
-}
-
-func (o *acceptorSorter) Len() int      { return len(o.s) }
-func (o *acceptorSorter) Swap(i, j int) { o.s[i], o.s[j] = o.s[j], o.s[i] }
-func (o *acceptorSorter) Less(i, j int) bool {
-	li, lj := o.c.planLoad(o.s[i]), o.c.planLoad(o.s[j])
-	if li != lj {
-		return li > lj
-	}
-	return o.s[i].ID() < o.s[j].ID()
-}
-
-// consolDonorSorter orders consolidation donors emptiest first, ID as the
-// deterministic tiebreak.
-type consolDonorSorter struct {
-	c *Cluster
-	s []*server.Server
-}
-
-func (o *consolDonorSorter) Len() int      { return len(o.s) }
-func (o *consolDonorSorter) Swap(i, j int) { o.s[i], o.s[j] = o.s[j], o.s[i] }
-func (o *consolDonorSorter) Less(i, j int) bool {
-	li, lj := o.c.planLoad(o.s[i]), o.c.planLoad(o.s[j])
-	if li != lj {
-		return li < lj
-	}
-	return o.s[i].ID() < o.s[j].ID()
 }

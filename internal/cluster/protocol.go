@@ -182,16 +182,19 @@ func (c *Cluster) runInterval(now units.Seconds) (IntervalStats, error) {
 		return IntervalStats{}, err
 	}
 
-	// Update regime streaks for the hysteresis rules.
+	// Update regime streaks for the hysteresis rules, reading the
+	// reconciled index (post-apply regimes equal the live ones).
+	c.flushIndex()
 	ls := &c.leader
-	for i, s := range c.servers {
-		active := c.active(s)
-		if active && s.Regime() == regime.R1 {
+	ix := &c.idx
+	for i := range c.servers {
+		active := c.activeID(server.ID(i))
+		if active && ix.reg[i] == regime.R1 {
 			ls.r1Streak[i]++
 		} else {
 			ls.r1Streak[i] = 0
 		}
-		if active && s.Regime() == regime.R4 {
+		if active && ix.reg[i] == regime.R4 {
 			ls.r4Streak[i]++
 		} else {
 			ls.r4Streak[i] = 0
@@ -215,8 +218,8 @@ func (c *Cluster) runInterval(now units.Seconds) (IntervalStats, error) {
 		avail := float64(c.cfg.Size-c.failedCount) / float64(c.cfg.Size)
 		st.Availability = &avail
 	}
-	for _, s := range c.servers {
-		if !s.Sleeping() && s.RawDemand() > 1+1e-9 {
+	for i := range c.servers {
+		if !ix.sleeping[i] && ix.raw[i] > 1+1e-9 {
 			st.SLAViolations++
 		}
 	}
@@ -258,13 +261,21 @@ func (c *Cluster) runInterval(now units.Seconds) (IntervalStats, error) {
 // last resort when it does not. Unlike the leader pass, demand evolution
 // is not planned: each growth event resolves (and possibly migrates)
 // immediately, interleaved with the RNG draws that produced it.
+//
+//ealb:hotpath
 func (c *Cluster) evolveDemand() error {
 	for _, s := range c.servers {
 		if !c.active(s) {
 			continue
 		}
-		c.hostedScratch = s.AppendHosted(c.hostedScratch[:0])
-		for _, h := range c.hostedScratch {
+		// Walk the hosted list in place. A growth migration splices the
+		// current entry out and shifts the rest left, so the index stays
+		// put for that case; entries placed onto this server by an
+		// earlier donor's migration sit at the tail and evolve too,
+		// exactly as they did when this pass iterated a fresh snapshot
+		// taken at each server's turn.
+		for i := 0; i < s.NumApps(); {
+			h := s.At(i)
 			if c.rng.Bool(c.cfg.ResetProb) {
 				// Application restart/right-sizing: fresh demand and a
 				// tight reservation, releasing accumulated headroom.
@@ -274,31 +285,41 @@ func (c *Cluster) evolveDemand() error {
 				if err := h.App.Reset(fresh); err != nil {
 					return err
 				}
+				c.noteDemandChange(s)
 				h.App.Provision(units.Fraction(c.cfg.ReservationQuantum / 2))
 				c.ledger.Record(scaling.Vertical, 1)
+				i++
 				continue
 			}
 			if !c.rng.Bool(c.cfg.ChangeProb) {
+				i++
 				continue
 			}
 			delta := h.App.Evolve(c.rng, c.cfg.Drift)
+			c.noteDemandChange(s)
 			if delta <= 0 {
 				// Demand fell: release over-reservation (scale-down is
 				// the other half of local vertical elasticity).
 				if h.App.VerticalShrink(units.Fraction(c.cfg.ReservationQuantum)) > 0 {
 					c.ledger.Record(scaling.Vertical, 1)
 				}
+				i++
 				continue
 			}
-			if err := c.routeGrowth(s, h); err != nil {
+			moved, err := c.routeGrowth(s, h)
+			if err != nil {
 				return err
+			}
+			if !moved {
+				i++
 			}
 		}
 	}
 	return nil
 }
 
-// routeGrowth decides the scaling path for one application growth event.
+// routeGrowth decides the scaling path for one application growth event
+// and reports whether it migrated the application off s.
 //
 // Growth under the VM's reservation costs nothing. Growth beyond the
 // reservation on a server that is not overloaded is absorbed by a local
@@ -307,21 +328,23 @@ func (c *Cluster) evolveDemand() error {
 // within its optimal region; when acceptors have saturated (sustained
 // high load) the growth is absorbed locally as a last resort, which is
 // what makes local decisions dominant after a few intervals at 70% load.
-func (c *Cluster) routeGrowth(s *server.Server, h server.Hosted) error {
+//
+//ealb:hotpath
+func (c *Cluster) routeGrowth(s *server.Server, h server.Hosted) (bool, error) {
 	if s.Regime().Overloaded() {
 		if dst := c.findAcceptor(h.App.Demand, s, acceptToOptHigh); dst != nil {
 			if err := c.migrate(s, dst, h); err != nil {
-				return err
+				return false, err
 			}
 			c.ledger.Record(scaling.Horizontal, 1)
-			return nil
+			return true, nil
 		}
 	}
 	if h.App.NeedsVerticalScale() {
 		h.App.VerticalScale(units.Fraction(c.cfg.ReservationQuantum))
 		c.ledger.Record(scaling.Vertical, 1)
 	}
-	return nil
+	return false, nil
 }
 
 // acceptLimit selects which boundary an acceptor may be filled to.
@@ -352,15 +375,21 @@ const acceptMargin = 0.04
 
 // bound returns the load limit the acceptor must stay under.
 func (l acceptLimit) bound(dst *server.Server) units.Fraction {
+	return l.limitAt(dst.Boundaries())
+}
+
+// limitAt is bound against a boundaries value directly — the plan step
+// reads boundaries from the leader's index columns, not the server.
+func (l acceptLimit) limitAt(b regime.Boundaries) units.Fraction {
 	switch l {
 	case acceptToOptLow:
-		return dst.Boundaries().OptLow
+		return b.OptLow
 	case acceptToOptMid:
-		return dst.Boundaries().OptimalTarget()
+		return b.OptimalTarget()
 	case acceptToSoptHigh:
-		return dst.Boundaries().SoptHigh
+		return b.SoptHigh
 	default:
-		return dst.Boundaries().OptHigh - acceptMargin
+		return b.OptHigh - acceptMargin
 	}
 }
 
@@ -416,6 +445,8 @@ func (c *Cluster) migrate(src, dst *server.Server, h server.Hosted) error {
 	if err := dst.Place(h, c.now); err != nil {
 		return err
 	}
+	c.idx.markDirty(src.ID())
+	c.idx.markDirty(dst.ID())
 	c.migrations++
 	c.intervalMigrations++
 	// Negotiation and plan messages (src↔dst direct, per §4's "negotiates
@@ -519,6 +550,7 @@ func (c *Cluster) applyBalance(plan *balancePlan) error {
 			if err != nil {
 				return err
 			}
+			c.idx.onWake(a.src, ready)
 			c.totalWakes++
 			// The setup completes asynchronously — possibly several
 			// reallocation intervals later for a C6 wake (260 s vs
@@ -541,6 +573,11 @@ func (c *Cluster) applyBalance(plan *balancePlan) error {
 			if err := s.Sleep(a.target, c.now); err != nil {
 				return err
 			}
+			lat, err := s.WakeLatency()
+			if err != nil {
+				return err
+			}
+			c.idx.onSleep(a.src, s.ReadyAt(), lat)
 			if tr != nil {
 				c.emit(trace.Event{Kind: trace.KindSleep, Src: int(a.src), Dst: -1, App: -1, Target: a.target.String()})
 			}

@@ -19,8 +19,15 @@ func BenchmarkFarmIntervals(b *testing.B) {
 	}{
 		{"4x100", 4, 100},
 		{"10x1000", 10, 1000},
+		{"10x10000", 10, 10000},
+		{"4x100000", 4, 100000},
 	} {
 		b.Run(shape.name, func(b *testing.B) {
+			if shape.clusters*shape.size >= 400000 && testing.Short() {
+				// The 4×10⁵ federation showcase is too heavy for CI's
+				// smoke run.
+				b.Skip("skipping large-federation showcase in short mode")
+			}
 			f, err := New(DefaultConfig(shape.clusters, shape.size, workload.LowLoad(), 1))
 			if err != nil {
 				b.Fatal(err)

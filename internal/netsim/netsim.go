@@ -112,9 +112,12 @@ type Delivery struct {
 
 // Network is the star-topology fabric of one cluster.
 type Network struct {
-	params  Params
-	size    int // number of member servers (== number of links)
-	perNode map[NodeID]*Counters
+	params Params
+	size   int // number of member servers (== number of links)
+	// perNode is dense: index 0 is the leader hub, index id+1 server id.
+	// Every Send touches two entries, so the table sits on the interval
+	// hot path — a direct index beats a hashed lookup there.
+	perNode []Counters
 	total   Counters
 }
 
@@ -126,7 +129,7 @@ func New(size int, p Params) (*Network, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Network{params: p, size: size, perNode: make(map[NodeID]*Counters)}, nil
+	return &Network{params: p, size: size, perNode: make([]Counters, size+1)}, nil
 }
 
 // Size returns the number of member servers.
@@ -196,19 +199,15 @@ func (n *Network) transfer(from, to NodeID, size units.Bytes) (Delivery, error) 
 	return d, nil
 }
 
+// node returns the counter cell of an endpoint already validated by hops.
 func (n *Network) node(id NodeID) *Counters {
-	c, ok := n.perNode[id]
-	if !ok {
-		c = &Counters{}
-		n.perNode[id] = c
-	}
-	return c
+	return &n.perNode[int(id)+1]
 }
 
 // NodeCounters returns a copy of the counters of one endpoint.
 func (n *Network) NodeCounters(id NodeID) Counters {
-	if c, ok := n.perNode[id]; ok {
-		return *c
+	if i := int(id) + 1; i >= 0 && i < len(n.perNode) {
+		return n.perNode[i]
 	}
 	return Counters{}
 }
@@ -226,14 +225,13 @@ func (n *Network) IdleEnergy(d units.Seconds) units.Joules {
 // ResetCounters zeroes all traffic counters (used between reallocation
 // intervals to compute per-interval j_k costs).
 func (n *Network) ResetCounters() {
-	n.perNode = make(map[NodeID]*Counters)
+	clear(n.perNode)
 	n.total = Counters{}
 }
 
 // Reset re-parameterizes the network in place for a fresh simulation and
-// zeroes all counters. Unlike ResetCounters it keeps the per-node table's
-// entries (zeroed) so a rebuilt cluster of the same size reuses every
-// Counters allocation; entries for nodes beyond the new size are dropped.
+// zeroes all counters, reusing the per-node table's storage where the new
+// size allows (a rebuilt cluster of the same size reallocates nothing).
 func (n *Network) Reset(size int, p Params) error {
 	if size <= 0 {
 		return fmt.Errorf("netsim: cluster size %d must be positive", size)
@@ -243,13 +241,12 @@ func (n *Network) Reset(size int, p Params) error {
 	}
 	n.size = size
 	n.params = p
-	for id, c := range n.perNode {
-		if id != LeaderNode && int(id) >= size {
-			delete(n.perNode, id)
-			continue
-		}
-		*c = Counters{}
+	if cap(n.perNode) >= size+1 {
+		n.perNode = n.perNode[:size+1]
+	} else {
+		n.perNode = make([]Counters, size+1)
 	}
+	clear(n.perNode)
 	n.total = Counters{}
 	return nil
 }

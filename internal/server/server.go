@@ -55,8 +55,36 @@ type Server struct {
 	acpi       *acpi.Manager
 	cfg        Config
 
-	hosted map[app.ID]Hosted
-	order  []app.ID // deterministic iteration order
+	// hosted holds the application/VM pairs in insertion order — the
+	// canonical demand summation order. Hosted sets are small (a handful
+	// of apps per server), so linear scans beat a map on both time and
+	// steady-state allocations (map bucket growth in Place was the last
+	// per-interval allocator at 10⁴ servers).
+	hosted []Hosted
+
+	// raw memoizes RawDemand: the insertion-ordered demand sum. Place
+	// extends the sum exactly (appending a term to a left-to-right float
+	// sum), Remove and in-place demand mutation (MarkDemandDirty)
+	// invalidate it. The recomputation runs the identical ordered sum, so
+	// memoization never changes a produced bit.
+	raw   units.Fraction
+	rawOK bool
+
+	// eval memoizes Evaluate, which is a pure function of the hosted set,
+	// its demands, and static config; it shares raw's invalidation points.
+	eval   Evaluation
+	evalOK bool
+
+	// qVM/qShare/qCost cache the live-migration cost of the last q_k
+	// pricing. migration.LiveCost is a pure function of the VM's
+	// (CPUShare, Memory, DirtyRate) and the static migration params;
+	// Memory and DirtyRate are immutable and CPUShare changes only when
+	// the VM actually migrates, so pricing the same VM at the same share
+	// can reuse the previous result even after demand evolution has
+	// invalidated the full evaluation.
+	qVM    *vm.VM
+	qShare units.Fraction
+	qCost  units.Joules
 
 	energy      units.Joules
 	lastAccount units.Seconds
@@ -64,7 +92,7 @@ type Server struct {
 
 // New builds a server in C0 with no load.
 func New(cfg Config) (*Server, error) {
-	s := &Server{hosted: make(map[app.ID]Hosted)}
+	s := &Server{}
 	if err := s.Reset(cfg); err != nil {
 		return nil, err
 	}
@@ -73,11 +101,11 @@ func New(cfg Config) (*Server, error) {
 
 // Reset re-seeds the server in place for a fresh simulation: new static
 // configuration, no hosted applications, zeroed energy account, back in
-// C0. It reuses the server's allocations (the hosted table, the app order
-// slice, and — when cfg keeps the default sleep specs — the ACPI manager),
-// which is what lets a sweep rebuild a 10^4-server cluster without
-// reconstructing the object graph. A Reset server is indistinguishable
-// from one freshly built by New with the same Config.
+// C0. It reuses the server's allocations (the hosted list and — when cfg
+// keeps the default sleep specs — the ACPI manager), which is what lets a
+// sweep rebuild a 10^4-server cluster without reconstructing the object
+// graph. A Reset server is indistinguishable from one freshly built by
+// New with the same Config.
 func (s *Server) Reset(cfg Config) error {
 	if cfg.Power == nil {
 		return fmt.Errorf("server %d: nil power model", cfg.ID)
@@ -109,8 +137,15 @@ func (s *Server) Reset(cfg Config) error {
 	s.boundaries = cfg.Boundaries
 	s.pm = cfg.Power
 	s.cfg = cfg
-	clear(s.hosted)
-	s.order = s.order[:0]
+	s.hosted = s.hosted[:0]
+	s.raw = 0
+	s.rawOK = true
+	s.evalOK = false
+	// A rebuild may hand the same *vm.VM address a different memory size
+	// or dirty rate (arena reuse), and may change the migration params.
+	s.qVM = nil
+	s.qShare = 0
+	s.qCost = 0
 	s.energy = 0
 	s.lastAccount = 0
 	return nil
@@ -136,6 +171,10 @@ func (s *Server) Sleeping() bool { return s.acpi.State().Sleeping() }
 // reallocation protocol.
 func (s *Server) CStateBusy(now units.Seconds) bool { return s.acpi.Busy(now) }
 
+// ReadyAt returns when the in-flight ACPI transition (if any) completes;
+// zero when nothing is armed. CStateBusy(now) ⇔ now < ReadyAt().
+func (s *Server) ReadyAt() units.Seconds { return s.acpi.ReadyAt() }
+
 // NumApps returns the number of hosted applications.
 func (s *Server) NumApps() int { return len(s.hosted) }
 
@@ -148,15 +187,27 @@ func (s *Server) Load() units.Fraction {
 // RawDemand returns the unclamped demand sum; above 1 the server is
 // saturated and applications are being throttled (an SLA concern).
 // Summation follows insertion order so results are bit-for-bit
-// reproducible (map order would reorder float additions).
+// reproducible. The sum is memoized; callers that mutate a hosted
+// application's demand in place must invalidate it via MarkDemandDirty.
 func (s *Server) RawDemand() units.Fraction {
-	var sum units.Fraction
-	for _, id := range s.order {
-		if h, ok := s.hosted[id]; ok {
-			sum += h.App.Demand
+	if !s.rawOK {
+		var sum units.Fraction
+		for i := range s.hosted {
+			sum += s.hosted[i].App.Demand
 		}
+		s.raw = sum
+		s.rawOK = true
 	}
-	return sum
+	return s.raw
+}
+
+// MarkDemandDirty invalidates the memoized demand sum and evaluation
+// after a hosted application's demand was mutated in place (the cluster's
+// demand-evolution step does this). The next RawDemand/Evaluate call
+// recomputes from the hosted list in insertion order.
+func (s *Server) MarkDemandDirty() {
+	s.rawOK = false
+	s.evalOK = false
 }
 
 // Regime classifies the server's current load (§4 eqs. 1-5).
@@ -164,25 +215,24 @@ func (s *Server) Regime() regime.Region { return s.boundaries.Classify(s.Load())
 
 // Hosted returns the hosted pairs in deterministic (insertion) order.
 func (s *Server) Hosted() []Hosted {
-	return s.AppendHosted(make([]Hosted, 0, len(s.order)))
+	return s.AppendHosted(make([]Hosted, 0, len(s.hosted)))
 }
 
 // AppendHosted appends the hosted pairs in insertion order to buf and
 // returns the extended slice — the allocation-free accessor the cluster's
 // per-interval loops use with a reused scratch buffer.
 func (s *Server) AppendHosted(buf []Hosted) []Hosted {
-	for _, id := range s.order {
-		if h, ok := s.hosted[id]; ok {
-			buf = append(buf, h)
-		}
-	}
-	return buf
+	return append(buf, s.hosted...)
 }
 
 // Lookup returns the hosted pair for an application ID.
 func (s *Server) Lookup(id app.ID) (Hosted, bool) {
-	h, ok := s.hosted[id]
-	return h, ok
+	for i := range s.hosted {
+		if s.hosted[i].App.ID == id {
+			return s.hosted[i], true
+		}
+	}
+	return Hosted{}, false
 }
 
 // Place adds an application (and its VM) to the server. The server must
@@ -198,28 +248,37 @@ func (s *Server) Place(h Hosted, now units.Seconds) error {
 	if s.acpi.Busy(now) {
 		return fmt.Errorf("server %d: still waking until %v", s.id, s.acpi.ReadyAt())
 	}
-	if _, dup := s.hosted[h.App.ID]; dup {
-		return fmt.Errorf("server %d: app %d already hosted", s.id, h.App.ID)
+	for i := range s.hosted {
+		if s.hosted[i].App.ID == h.App.ID {
+			return fmt.Errorf("server %d: app %d already hosted", s.id, h.App.ID)
+		}
 	}
-	s.hosted[h.App.ID] = h
-	s.order = append(s.order, h.App.ID)
+	s.hosted = append(s.hosted, h)
+	if s.rawOK {
+		// Appending a term to a left-to-right float sum extends it
+		// exactly: raw + demand is bit-identical to recomputing the
+		// insertion-ordered sum with the new last element.
+		s.raw += h.App.Demand
+	}
+	s.evalOK = false
 	return nil
 }
 
 // Remove detaches an application from the server and returns its pair.
+// Unlike Place it invalidates the memoized demand sum: splicing a term
+// out of the middle of an ordered float sum reorders the additions, so
+// only a fresh left-to-right recomputation is bit-reproducible.
 func (s *Server) Remove(id app.ID) (Hosted, error) {
-	h, ok := s.hosted[id]
-	if !ok {
-		return Hosted{}, fmt.Errorf("server %d: app %d not hosted", s.id, id)
-	}
-	delete(s.hosted, id)
-	for i, oid := range s.order {
-		if oid == id {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
+	for i := range s.hosted {
+		if s.hosted[i].App.ID == id {
+			h := s.hosted[i]
+			s.hosted = append(s.hosted[:i], s.hosted[i+1:]...)
+			s.rawOK = false
+			s.evalOK = false
+			return h, nil
 		}
 	}
-	return h, nil
+	return Hosted{}, fmt.Errorf("server %d: app %d not hosted", s.id, id)
 }
 
 // AccountTo integrates the server's power draw up to time now and returns
@@ -325,8 +384,13 @@ type Evaluation struct {
 
 // Evaluate computes the server's evaluation for the next interval. The
 // q_k estimate prices migrating the server's largest VM — the one the
-// negotiation step would move first.
+// negotiation step would move first. The result is a pure function of the
+// hosted set, its demands, and static configuration, so it is memoized
+// under the same invalidation points as RawDemand.
 func (s *Server) Evaluate() (Evaluation, error) {
+	if s.evalOK {
+		return s.eval, nil
+	}
 	ev := Evaluation{
 		Server:  s.id,
 		Load:    s.Load(),
@@ -343,15 +407,22 @@ func (s *Server) Evaluate() (Evaluation, error) {
 	ev.JCost = units.Joules(msgs * float64(s.cfg.ControlMsgEnergy))
 
 	if v := s.largestVM(); v != nil {
-		res, err := migration.LiveCost(v, s.cfg.Migration)
-		if err != nil {
-			return Evaluation{}, fmt.Errorf("server %d: %w", s.id, err)
+		if v == s.qVM && v.CPUShare == s.qShare {
+			ev.QCost = s.qCost
+		} else {
+			res, err := migration.LiveCost(v, s.cfg.Migration)
+			if err != nil {
+				return Evaluation{}, fmt.Errorf("server %d: %w", s.id, err)
+			}
+			s.qVM, s.qShare, s.qCost = v, v.CPUShare, res.Energy
+			ev.QCost = res.Energy
 		}
-		ev.QCost = res.Energy
 	} else {
 		// Nothing to migrate: price a minimal image start instead.
 		ev.QCost = s.cfg.ControlMsgEnergy
 	}
+	s.eval = ev
+	s.evalOK = true
 	return ev, nil
 }
 
@@ -359,13 +430,9 @@ func (s *Server) Evaluate() (Evaluation, error) {
 func (s *Server) largestVM() *vm.VM {
 	var best *vm.VM
 	var bestShare units.Fraction
-	for _, id := range s.order {
-		h, ok := s.hosted[id]
-		if !ok {
-			continue
-		}
-		if best == nil || h.App.Demand > bestShare {
-			best, bestShare = h.VM, h.App.Demand
+	for i := range s.hosted {
+		if best == nil || s.hosted[i].App.Demand > bestShare {
+			best, bestShare = s.hosted[i].VM, s.hosted[i].App.Demand
 		}
 	}
 	return best
@@ -398,6 +465,13 @@ func SortByDemand(hs []Hosted) {
 	}
 }
 
+// At returns the hosted pair at position i in placement order. Together
+// with NumApps it lets the demand-evolution pass walk a server's
+// applications without materializing a copy; callers that migrate the
+// current entry away must not advance i (the splice shifts the
+// remaining entries left by one, preserving their relative order).
+func (s *Server) At(i int) Hosted { return s.hosted[i] }
+
 // Headroom returns spare capacity before the load leaves the optimal
 // region upward.
 func (s *Server) Headroom() units.Fraction { return s.boundaries.Headroom(s.Load()) }
@@ -408,7 +482,7 @@ func (s *Server) Excess() units.Fraction { return s.boundaries.Excess(s.Load()) 
 // SyncVMs copies every application's current demand into its VM's CPU
 // share so migration volumes reflect the load being moved.
 func (s *Server) SyncVMs() {
-	for _, h := range s.hosted {
-		h.VM.CPUShare = h.App.Demand
+	for i := range s.hosted {
+		s.hosted[i].VM.CPUShare = s.hosted[i].App.Demand
 	}
 }
