@@ -5,6 +5,8 @@
 //
 //	ealb-serve                    # listen on :8080, one worker per CPU
 //	ealb-serve -addr :9000 -workers 4 -drain 30s
+//	ealb-serve -store-dir /var/lib/ealb   # durable run store; resumes interrupted runs on start
+//	ealb-serve -tenant-quota 4    # cap concurrent runs per X-Tenant (0 = unlimited)
 //	ealb-serve -pprof             # also expose /debug/pprof/ profiling handlers
 //	ealb-serve -log-level debug   # per-request logs (JSON on stderr)
 //
@@ -32,6 +34,17 @@
 //	curl -s -X POST localhost:8080/v1/runs?wait=1 \
 //	  -d '{"kind":"policy","profiles":["burst","diurnal"],"base_rate":1000,"peak_rate":5000}'
 //
+// Without -store-dir, runs live in process memory and die with it. With
+// -store-dir, every run — record, cell checkpoints, interval and trace
+// streams — is persisted as NDJSON under the directory, run IDs stay
+// unique across restarts, and on startup the service resumes runs that
+// were queued or running when the previous process died, finishing them
+// byte-identical to an uninterrupted run. Replicas may share one store
+// directory: a lease keeps two processes from executing the same run.
+// POST /v1/runs additionally honours an Idempotency-Key header (replays
+// answer with the original run) and, with -tenant-quota, caps each
+// X-Tenant's concurrently active runs.
+//
 // The service logs structured JSON lines to stderr (run lifecycle at
 // info, per-request logs at debug). On SIGINT/SIGTERM the server stops
 // accepting requests and drains: in-flight simulations get -drain to
@@ -53,15 +66,20 @@ import (
 
 	"ealb/internal/engine"
 	"ealb/internal/serve"
+	"ealb/internal/store"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "engine worker count (0 = one per CPU)")
-		drain     = flag.Duration("drain", 30*time.Second, "how long to let in-flight runs finish on shutdown before cancelling them")
-		withPprof = flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
-		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug adds per-request logs)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "engine worker count (0 = one per CPU)")
+		drain       = flag.Duration("drain", 30*time.Second, "how long to let in-flight runs finish on shutdown before cancelling them")
+		storeDir    = flag.String("store-dir", "", "durable run store directory (empty = in-memory, lost on exit)")
+		owner       = flag.String("owner", "", "lease owner identity for a shared store (default: host name)")
+		leaseTTL    = flag.Duration("lease", 30*time.Second, "run lease time-to-live in a shared store")
+		tenantQuota = flag.Int("tenant-quota", 0, "max concurrently active runs per X-Tenant (0 = unlimited)")
+		withPprof   = flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug adds per-request logs)")
 	)
 	flag.Parse()
 
@@ -72,9 +90,29 @@ func main() {
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	opts := serve.Options{Owner: *owner, LeaseTTL: *leaseTTL, TenantQuota: *tenantQuota}
+	if opts.Owner == "" {
+		if host, err := os.Hostname(); err == nil {
+			opts.Owner = host
+		}
+	}
+	if *storeDir != "" {
+		disk, err := store.OpenDisk(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ealb-serve: opening -store-dir: %v\n", err)
+			os.Exit(1)
+		}
+		defer disk.Close()
+		opts.Store = disk
+	}
+
 	pool := engine.NewPool(*workers)
-	svc := serve.New(pool)
+	svc := serve.NewWith(pool, opts)
 	svc.SetLogger(logger)
+	if err := svc.Recover(context.Background()); err != nil {
+		logger.Error("recovering runs from store", "error", err)
+		os.Exit(1)
+	}
 
 	handler := svc.Handler()
 	if *withPprof {

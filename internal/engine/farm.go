@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"ealb/internal/farm"
-	"ealb/internal/trace"
 	"ealb/internal/workload"
 )
 
@@ -138,18 +137,18 @@ func (p *Pool) runFarmArena(ctx context.Context, cfg farm.Config, intervals int,
 // contract) — cells are independent and usually outnumber one farm's
 // clusters, and a cell-level Map must not nest another Map inside it,
 // which would deadlock a saturated pool.
-func (p *Pool) runFarmCells(ctx context.Context, cells []Scenario, results []Result, observe func(int, any), tracerFor func(int) trace.Tracer) error {
+func (p *Pool) runFarmCells(ctx context.Context, cells []Scenario, results []Result, h RunHooks) error {
 	runCell := func(ci int, r farm.Runner) error {
 		cell := cells[ci]
 		cfg, err := cell.farmSimConfig()
 		if err != nil {
 			return err
 		}
-		if observe != nil {
-			cfg.OnInterval = func(st farm.IntervalStats) { observe(ci, st) }
+		if h.Observe != nil {
+			cfg.OnInterval = func(st farm.IntervalStats) { h.Observe(ci, st) }
 		}
-		if tracerFor != nil {
-			cfg.Tracer = tracerFor(ci)
+		if h.TracerFor != nil {
+			cfg.Tracer = h.TracerFor(ci)
 		}
 		run, err := p.runFarmArena(ctx, cfg, cell.Intervals, r)
 		if err != nil {
@@ -160,6 +159,9 @@ func (p *Pool) runFarmCells(ctx context.Context, cells []Scenario, results []Res
 		p.addJoules(run.Energy)
 		p.addIntervals(uint64(len(run.Stats) * cfg.Clusters))
 		p.addResilience(run.Failures, run.AppsLost)
+		if h.CellDone != nil {
+			h.CellDone(ci, results[ci])
+		}
 		return nil
 	}
 	if len(cells) == 1 {

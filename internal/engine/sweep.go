@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"ealb/internal/cluster"
 	"ealb/internal/policy"
@@ -383,8 +384,41 @@ func (p *Pool) RunExpanded(ctx context.Context, ex ExpandedSweep, observe func(c
 // trace invariance tests pin this against the golden digests). Policy
 // cells and baseline-comparison runs are never traced.
 func (p *Pool) RunExpandedTraced(ctx context.Context, ex ExpandedSweep, observe func(cell int, st any), tracerFor func(cell int) trace.Tracer) (SweepResult, error) {
+	return p.RunExpandedHooked(ctx, ex, RunHooks{Observe: observe, TracerFor: tracerFor})
+}
+
+// RunHooks customizes RunExpandedHooked. All cell indices refer to the
+// expansion order of the full sweep, even when Completed skips cells.
+type RunHooks struct {
+	// Observe, when non-nil, receives every completed interval of every
+	// cluster or farm cell while the sweep runs (see RunSweepObserved).
+	Observe func(cell int, st any)
+	// TracerFor, when non-nil, supplies per-cell decision tracers (see
+	// RunExpandedTraced).
+	TracerFor func(cell int) trace.Tracer
+	// CellDone, when non-nil, is called once per executed cell as soon as
+	// the cell's Result is fully assembled — for cluster cells with a
+	// baseline comparison, after both runs finish. It is called from the
+	// worker goroutine that completed the cell's last job, so it must be
+	// safe for concurrent use; completion order across cells is
+	// nondeterministic (the Result values themselves are not). Cells
+	// satisfied from Completed do not fire it.
+	CellDone func(cell int, res Result)
+	// Completed supplies checkpointed results by expansion index. Those
+	// cells are not re-executed: their results are merged verbatim into
+	// the SweepResult, and only the remaining cells run. Because every
+	// cell derives all randomness from its own recorded seed, the merged
+	// result is byte-identical to an uninterrupted run — the basis of the
+	// service's crash/resume support.
+	Completed map[int]Result
+}
+
+// RunExpandedHooked is the general form of RunExpandedTraced: an
+// expanded sweep plus per-cell completion hooks and optional resumption
+// from checkpointed cells.
+func (p *Pool) RunExpandedHooked(ctx context.Context, ex ExpandedSweep, h RunHooks) (SweepResult, error) {
 	p.runsStarted.Add(1)
-	res, err := p.runSweep(ctx, ex.spec, ex.cells, observe, tracerFor)
+	res, err := p.runSweep(ctx, ex.spec, ex.cells, h)
 	if err != nil {
 		p.runsFailed.Add(1)
 		return SweepResult{}, err
@@ -397,28 +431,59 @@ func (p *Pool) RunExpandedTraced(ctx context.Context, ex ExpandedSweep, observe 
 // pool-level job list (nesting Map calls would deadlock a saturated
 // pool); policy cells flatten into one job per (cell, policy) pair;
 // farm cells run one after another, each fanning its clusters out
-// across the pool per interval.
-func (p *Pool) runSweep(ctx context.Context, spec SweepSpec, cells []Scenario, observe func(int, any), tracerFor func(int) trace.Tracer) (SweepResult, error) {
-	out := SweepResult{Spec: spec, Cells: make([]Result, len(cells))}
+// across the pool per interval. Cells found in h.Completed are skipped:
+// the remaining cells run as a compact sub-sweep whose hooks are
+// remapped back to original expansion indices, and the checkpointed
+// results merge in before aggregation (a pure function of the full cell
+// slice, so a resumed sweep aggregates identically).
+func (p *Pool) runSweep(ctx context.Context, spec SweepSpec, cells []Scenario, h RunHooks) (SweepResult, error) {
+	full := make([]Result, len(cells))
+	pending := cells
+	pendingResults := full
+	var pmap []int // compact index → expansion index; nil means identity
+	if len(h.Completed) > 0 {
+		pending = nil
+		for ci := range cells {
+			if res, ok := h.Completed[ci]; ok {
+				full[ci] = res
+				continue
+			}
+			pending = append(pending, cells[ci])
+			pmap = append(pmap, ci)
+		}
+		pendingResults = make([]Result, len(pending))
+		orig := h
+		sub := RunHooks{}
+		if orig.Observe != nil {
+			sub.Observe = func(i int, st any) { orig.Observe(pmap[i], st) }
+		}
+		if orig.TracerFor != nil {
+			sub.TracerFor = func(i int) trace.Tracer { return orig.TracerFor(pmap[i]) }
+		}
+		if orig.CellDone != nil {
+			sub.CellDone = func(i int, res Result) { orig.CellDone(pmap[i], res) }
+		}
+		h = sub
+	}
+	var err error
 	switch spec.Kind {
 	case KindCluster:
-		if err := p.runClusterCells(ctx, cells, out.Cells, observe, tracerFor); err != nil {
-			return SweepResult{}, err
-		}
+		err = p.runClusterCells(ctx, pending, pendingResults, h)
 	case KindFarm:
-		if err := p.runFarmCells(ctx, cells, out.Cells, observe, tracerFor); err != nil {
-			return SweepResult{}, err
-		}
+		err = p.runFarmCells(ctx, pending, pendingResults, h)
 	case KindPolicy:
-		if err := p.runPolicyCells(ctx, cells, out.Cells); err != nil {
-			return SweepResult{}, err
-		}
+		err = p.runPolicyCells(ctx, pending, pendingResults, h)
 	}
-	out.Aggregates = Aggregates(out.Cells)
-	return out, nil
+	if err != nil {
+		return SweepResult{}, err
+	}
+	for i, ci := range pmap {
+		full[ci] = pendingResults[i]
+	}
+	return SweepResult{Spec: spec, Cells: full, Aggregates: Aggregates(full)}, nil
 }
 
-func (p *Pool) runClusterCells(ctx context.Context, cells []Scenario, results []Result, observe func(int, any), tracerFor func(int) trace.Tracer) error {
+func (p *Pool) runClusterCells(ctx context.Context, cells []Scenario, results []Result, h RunHooks) error {
 	type slot struct {
 		cell     int
 		baseline bool
@@ -438,12 +503,12 @@ func (p *Pool) runClusterCells(ctx context.Context, cells []Scenario, results []
 			Size: cell.Size, Band: band, Seed: cell.SeedValue(), Intervals: cell.Intervals,
 			Mutate: func(c *cluster.Config) { c.Sleep = sleep; cell.applyChurn(c) },
 		}
-		if observe != nil {
+		if h.Observe != nil {
 			ci := ci
-			job.Observe = func(st cluster.IntervalStats) { observe(ci, st) }
+			job.Observe = func(st cluster.IntervalStats) { h.Observe(ci, st) }
 		}
-		if tracerFor != nil {
-			job.Tracer = tracerFor(ci)
+		if h.TracerFor != nil {
+			job.Tracer = h.TracerFor(ci)
 		}
 		jobs = append(jobs, job)
 		slots = append(slots, slot{cell: ci})
@@ -457,31 +522,70 @@ func (p *Pool) runClusterCells(ctx context.Context, cells []Scenario, results []
 			slots = append(slots, slot{cell: ci, baseline: true})
 		}
 	}
-	runs, err := p.SweepCluster(ctx, jobs)
-	if err != nil {
-		return err
+	// A cell completes when its last job does — two jobs with a baseline
+	// comparison, one otherwise. The worker that decrements a cell's
+	// counter to zero assembles the cell's Result and fires CellDone; the
+	// atomic decrement orders it after the other job's runs[] write.
+	mainJob := make([]int, len(cells))
+	baseJob := make([]int, len(cells))
+	remaining := make([]atomic.Int32, len(cells))
+	for ci := range cells {
+		baseJob[ci] = -1
 	}
 	for ji, sl := range slots {
-		res := &results[sl.cell]
 		if sl.baseline {
-			res.AlwaysOnJoules = runs[ji].Energy
-			continue
+			baseJob[sl.cell] = ji
+		} else {
+			mainJob[sl.cell] = ji
 		}
-		run := runs[ji]
-		res.Kind = cells[sl.cell].Kind
-		res.Scenario = cells[sl.cell]
-		res.Cluster = &run
+		remaining[sl.cell].Add(1)
 	}
-	for ci := range results {
-		if cells[ci].CompareBaseline {
-			results[ci].JoulesSaved = results[ci].AlwaysOnJoules - results[ci].Cluster.Energy
-			p.addSaved(results[ci].JoulesSaved)
+	runs := make([]ClusterRun, len(jobs))
+	return p.Map(ctx, len(jobs), func(ji int) error {
+		j := jobs[ji]
+		mutate := j.Mutate
+		if j.Observe != nil || j.Tracer != nil {
+			mutate = func(c *cluster.Config) {
+				if j.Mutate != nil {
+					j.Mutate(c)
+				}
+				if j.Observe != nil {
+					c.OnInterval = j.Observe
+				}
+				c.Tracer = j.Tracer
+			}
 		}
-	}
-	return nil
+		run, err := p.runClusterArena(ctx, j.Size, j.Band, j.Seed, j.Intervals, mutate)
+		if err != nil {
+			return fmt.Errorf("engine: sweep job %d (size=%d band=%v seed=%d): %w",
+				ji, j.Size, j.Band, j.Seed, err)
+		}
+		runs[ji] = run
+		p.addJoules(run.Energy)
+		p.addIntervals(uint64(len(run.Stats)))
+		p.addResilience(run.Failures, run.AppsLost)
+		ci := slots[ji].cell
+		if remaining[ci].Add(-1) != 0 {
+			return nil
+		}
+		res := &results[ci]
+		main := runs[mainJob[ci]]
+		res.Kind = cells[ci].Kind
+		res.Scenario = cells[ci]
+		res.Cluster = &main
+		if baseJob[ci] >= 0 {
+			res.AlwaysOnJoules = runs[baseJob[ci]].Energy
+			res.JoulesSaved = res.AlwaysOnJoules - main.Energy
+			p.addSaved(res.JoulesSaved)
+		}
+		if h.CellDone != nil {
+			h.CellDone(ci, *res)
+		}
+		return nil
+	})
 }
 
-func (p *Pool) runPolicyCells(ctx context.Context, cells []Scenario, results []Result) error {
+func (p *Pool) runPolicyCells(ctx context.Context, cells []Scenario, results []Result, h RunHooks) error {
 	type job struct {
 		cell, pi int
 	}
@@ -502,6 +606,10 @@ func (p *Pool) runPolicyCells(ctx context.Context, cells []Scenario, results []R
 			jobs = append(jobs, job{cell: ci, pi: pi})
 		}
 	}
+	remaining := make([]atomic.Int32, len(cells))
+	for _, j := range jobs {
+		remaining[j.cell].Add(1)
+	}
 	return p.Map(ctx, len(jobs), func(i int) error {
 		j := jobs[i]
 		r, err := policy.Simulate(ctx, cfgs[j.cell], pols[j.cell][j.pi], rates[j.cell])
@@ -510,6 +618,9 @@ func (p *Pool) runPolicyCells(ctx context.Context, cells []Scenario, results []R
 		}
 		results[j.cell].Policies[j.pi] = r
 		p.addJoules(float64(r.Energy))
+		if remaining[j.cell].Add(-1) == 0 && h.CellDone != nil {
+			h.CellDone(j.cell, results[j.cell])
+		}
 		return nil
 	})
 }

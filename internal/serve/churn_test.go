@@ -23,7 +23,7 @@ func TestChurnSweepEndToEnd(t *testing.T) {
 
 	var first []byte
 	for _, workers := range []int{1, 8} {
-		s := New(engine.NewPool(workers))
+		s := NewWith(engine.NewPool(workers), testOptions(t))
 		ts := newServerFor(t, s)
 		resp, run := postRun(t, ts, body, true)
 		if resp.StatusCode != http.StatusOK {

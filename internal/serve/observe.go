@@ -13,24 +13,27 @@ import (
 	"ealb/internal/trace"
 )
 
-// maxTraceEventsPerCell bounds how many decision events one cell's trace
-// tail buffers. Unlike interval stats, trace buffers are never folded
-// into the recorded result, so they live for the process lifetime; a
-// dense 10k-server cell can emit thousands of events per interval, and
-// an unbounded buffer would let one traced run hold the heap hostage.
-// Events past the cap are counted but dropped from the stream.
+// maxTraceEventsPerCell bounds how many decision events one cell's
+// trace buffers — the live tail and the store stream alike. Unlike
+// interval stats, trace events are never folded into the recorded
+// result; a dense 10k-server cell can emit thousands of events per
+// interval, and an unbounded buffer would let one traced run hold the
+// heap (or the store) hostage. Events past the cap are counted but
+// dropped from the stream.
 const maxTraceEventsPerCell = 1 << 17
 
 // tailTracer is the per-cell tracer of a traced run: decision events
-// feed the run's trace tail for live NDJSON streaming, phase timings
-// feed the server-wide phase histograms exported on /metrics. It is
-// driven from engine worker goroutines; the tail and histograms are
-// both concurrency-safe.
+// feed the run's trace tail for live NDJSON streaming and the run store
+// (where finished runs stream from, so the live buffers can be released
+// at terminal status); phase timings feed the server-wide phase
+// histograms exported on /metrics. It is driven from engine worker
+// goroutines; the tail, store and histograms are all concurrency-safe.
 type tailTracer struct {
-	srv  *Server
-	tail *tail
-	cell int
-	n    atomic.Int64
+	srv   *Server
+	tail  *tail
+	runID string
+	cell  int
+	n     atomic.Int64
 }
 
 func (tt *tailTracer) Event(e trace.Event) {
@@ -39,6 +42,11 @@ func (tt *tailTracer) Event(e trace.Event) {
 		return
 	}
 	tt.tail.observe(tt.cell, e)
+	if raw, err := json.Marshal(e); err == nil {
+		if err := tt.srv.store.AppendTrace(tt.runID, tt.cell, raw); err != nil {
+			tt.srv.logStoreError("trace", tt.runID, err)
+		}
+	}
 }
 
 func (tt *tailTracer) Phase(p trace.Phase, d time.Duration) {
@@ -142,9 +150,10 @@ func (w *statusWriter) status() int {
 
 // handleTrace streams one cell's decision events as newline-delimited
 // JSON, flushing after every batch. Like /intervals it tails a running
-// simulation live; unlike interval stats, trace buffers are never
-// folded into the recorded result, so a finished run's events remain
-// streamable (up to the per-cell cap) for the service lifetime.
+// simulation live; once the run finishes, the live buffers are released
+// and the remainder streams from the run store (up to the per-cell cap,
+// and for the in-memory store its finished-run retention window), so
+// finished runs stay streamable without pinning every event in RAM.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	run := s.snapshot(r.PathValue("id"))
 	if run == nil {
@@ -174,9 +183,23 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	sent := 0
 	for {
-		// The trace tail is finished with release=false, so the released
-		// branch of /intervals never applies here.
-		items, done, _, wake := run.traceTail.after(cell, sent)
+		items, done, released, wake := run.traceTail.after(cell, sent)
+		if released {
+			// Terminal: the live buffers are gone; stream the remainder
+			// from the store. Trace streams carry no status line (unlike
+			// interval tails) — that contract is unchanged.
+			if lines, err := s.store.Trace(run.ID, cell); err == nil && sent < len(lines) {
+				for _, ln := range lines[sent:] {
+					if err := enc.Encode(json.RawMessage(ln)); err != nil {
+						return
+					}
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+			return
+		}
 		for _, e := range items {
 			if err := enc.Encode(e); err != nil {
 				return

@@ -2,7 +2,14 @@
 // service — the `ealb-serve` daemon. Clients submit scenario specs as
 // JSON and the service executes them on a shared engine pool:
 //
-//	POST   /v1/runs                 submit a scenario or sweep (?wait=1 blocks)
+//	POST   /v1/runs                 submit a scenario or sweep (?wait=1 blocks).
+//	                                An Idempotency-Key header dedups retries:
+//	                                a repeated key (per X-Tenant) answers with
+//	                                the original run and Idempotency-Replayed:
+//	                                true instead of starting a new one. With a
+//	                                per-tenant quota configured, a tenant at
+//	                                its active-run (queued+running) limit gets
+//	                                429 Too Many Requests.
 //	GET    /v1/runs                 list runs, newest last. ?status= keeps
 //	                                one status (see Statuses); ?limit=N
 //	                                keeps only the N most recent. N must be
@@ -28,10 +35,15 @@
 // context.Context: DELETE cancels it, a ?wait=1 client disconnect
 // cancels it, and Shutdown drains or cancels all of them.
 //
-// The service holds finished runs in memory; it is a simulation front
-// end, not a database. Every run records the normalized spec it
-// executed, so a result can always be reproduced bit-for-bit from its
-// recorded spec and seed.
+// The service holds live runs in memory and writes every state
+// transition through a store.RunStore. The default in-memory store
+// keeps the historical single-process behaviour; `ealb-serve
+// -store-dir` selects the durable disk store, which survives restarts:
+// on startup Recover reloads finished history and resumes interrupted
+// runs from their per-cell checkpoints — determinism makes the resumed
+// result byte-identical to an uninterrupted one. Every run records the
+// normalized spec it executed, so a result can always be reproduced
+// bit-for-bit from its recorded spec and seed.
 package serve
 
 import (
@@ -48,6 +60,7 @@ import (
 	"time"
 
 	"ealb/internal/engine"
+	"ealb/internal/store"
 	"ealb/internal/trace"
 )
 
@@ -89,23 +102,33 @@ type Run struct {
 	Finished *time.Time `json:"finished,omitempty"`
 
 	// seq orders the run list by submission; the zero-padded ID would
-	// sort lexicographically wrong past run-999999.
-	seq int
+	// sort lexicographically wrong past run-999999. It is the store's
+	// sequence number, so ordering spans restarts.
+	seq int64
+	// tenant and idemKey echo the submission's X-Tenant and
+	// Idempotency-Key headers (quota accounting and replay dedup).
+	tenant, idemKey string
 	// expanded is the validated, expanded sweep the run executes (also
 	// set for single-scenario runs, whose public Spec field stays
 	// empty).
 	expanded engine.ExpandedSweep
 	// single marks a v1 single-scenario presentation.
 	single bool
+	// resume holds checkpointed cell results recovered from the store;
+	// execute skips these cells (nil for fresh runs).
+	resume map[int]engine.Result
 	// cancel aborts the run's context (DELETE, Shutdown).
 	cancel context.CancelFunc
 	// tail buffers per-interval stats of cluster cells for live
-	// streaming; nil for policy runs.
+	// streaming; nil for policy runs. Released at every terminal status:
+	// done runs serve intervals from the recorded result,
+	// failed/cancelled ones from the store.
 	tail *tail
 	// traceTail buffers decision events for runs submitted with
-	// "trace":true; nil otherwise. Unlike tail it is never released —
-	// events are not part of the recorded result — so finished runs stay
-	// streamable, bounded by maxTraceEventsPerCell.
+	// "trace":true; nil otherwise. Also released at terminal status —
+	// events persist in the store (bounded by maxTraceEventsPerCell and
+	// the memory store's retention window), so finished runs stay
+	// streamable without pinning every event in RAM.
 	traceTail *tail
 }
 
@@ -136,19 +159,74 @@ type Server struct {
 	httpMu sync.Mutex
 	routes map[string]*routeMetrics
 
+	// store persists run records, interval/trace streams and cell
+	// checkpoints; owner/leaseTTL are the service's claim identity for
+	// shared stores; tenantQuota bounds active runs per tenant (0 = no
+	// limit). All fixed at construction.
+	store       store.RunStore
+	owner       string
+	leaseTTL    time.Duration
+	tenantQuota int
+
 	mu       sync.Mutex
 	runs     map[string]*Run
-	nextID   int
 	draining bool
+	// idem maps tenant-scoped idempotency keys to run IDs for replay
+	// dedup; rebuilt from the store by Recover.
+	idem map[string]string
 	// wg counts every in-flight run — synchronous and asynchronous —
 	// and is incremented in newRun under mu, so Shutdown's draining
 	// flag and the drain wait cannot race a submission.
 	wg sync.WaitGroup
 }
 
-// New builds a service executing scenarios on the given pool.
+// Options configures NewWith. The zero value reproduces New: an
+// in-memory store, no tenant quota, and the default lease TTL.
+type Options struct {
+	// Store persists runs; nil selects a fresh in-memory store. The
+	// caller owns a store it passes in (including Close).
+	Store store.RunStore
+	// Owner is this process's claim identity on a shared store. A
+	// replica restarted under the same owner reclaims its interrupted
+	// runs immediately; rivals must wait out the lease TTL. Defaults to
+	// "ealb-serve".
+	Owner string
+	// LeaseTTL is how long a run claim lasts between renewals (renewed
+	// on every cell checkpoint). Defaults to 30s.
+	LeaseTTL time.Duration
+	// TenantQuota caps a tenant's active (queued+running) runs;
+	// submissions past it answer 429. 0 means unlimited.
+	TenantQuota int
+}
+
+// New builds a service executing scenarios on the given pool, keeping
+// runs in memory (the historical default).
 func New(pool *engine.Pool) *Server {
-	return &Server{pool: pool, runs: make(map[string]*Run)}
+	return NewWith(pool, Options{})
+}
+
+// NewWith builds a service with an explicit run store and submission
+// limits. Call Recover before serving to reload a durable store's
+// history and resume its interrupted runs.
+func NewWith(pool *engine.Pool, opts Options) *Server {
+	if opts.Store == nil {
+		opts.Store = store.NewMemory()
+	}
+	if opts.Owner == "" {
+		opts.Owner = "ealb-serve"
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 30 * time.Second
+	}
+	return &Server{
+		pool:        pool,
+		store:       opts.Store,
+		owner:       opts.Owner,
+		leaseTTL:    opts.LeaseTTL,
+		tenantQuota: opts.TenantQuota,
+		runs:        make(map[string]*Run),
+		idem:        make(map[string]string),
+	}
 }
 
 // Handler returns the service's routed HTTP handler, wrapped in the
@@ -229,10 +307,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		base = r.Context()
 	}
 	ctx, cancel := context.WithCancel(base)
-	run, ok := s.newRun(ex, spec.SingleRun(), cancel)
-	if !ok {
+	run, replayed, err := s.newRun(ex, spec.SingleRun(), cancel, r.Header.Get("X-Tenant"), r.Header.Get("Idempotency-Key"))
+	switch {
+	case errors.Is(err, errDraining):
 		cancel()
 		httpError(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	case errors.Is(err, errQuota):
+		cancel()
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant has %d active runs (the configured quota); retry when one finishes", s.tenantQuota))
+		return
+	case err != nil:
+		cancel()
+		httpError(w, http.StatusInternalServerError, fmt.Sprintf("run store: %v", err))
+		return
+	}
+	if replayed {
+		// Idempotent retry: answer with the original run, no new work.
+		cancel()
+		w.Header().Set("Idempotency-Replayed", "true")
+		snap := s.snapshot(run.ID)
+		code := http.StatusAccepted
+		if terminal(snap.Status) {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, snap)
 		return
 	}
 	if s.logger != nil {
@@ -261,23 +361,65 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, s.snapshot(run.ID))
 }
 
-// newRun registers a queued run under a fresh id and adds it to the
-// drain group. It fails when the service is draining; on success the
-// caller owes one s.wg.Done once the run finishes.
-func (s *Server) newRun(ex engine.ExpandedSweep, single bool, cancel context.CancelFunc) (*Run, bool) {
+// Submission failures newRun distinguishes for HTTP mapping.
+var (
+	errDraining = errors.New("serve: draining")
+	errQuota    = errors.New("serve: tenant quota exceeded")
+)
+
+// terminal reports whether a status is final.
+func terminal(status string) bool {
+	return status == StatusDone || status == StatusFailed || status == StatusCancelled
+}
+
+// idemIndex scopes an idempotency key to its tenant.
+func idemIndex(tenant, key string) string { return tenant + "\x00" + key }
+
+// newRun registers a queued run under a store-unique id and adds it to
+// the drain group. When the tenant already submitted this idempotency
+// key, the original run returns with replayed=true and nothing new
+// starts. On a fresh (non-replayed) success the caller owes one
+// s.wg.Done once the run finishes.
+func (s *Server) newRun(ex engine.ExpandedSweep, single bool, cancel context.CancelFunc, tenant, idemKey string) (*Run, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return nil, false
+		return nil, false, errDraining
+	}
+	if idemKey != "" {
+		if id, ok := s.idem[idemIndex(tenant, idemKey)]; ok {
+			return s.runs[id], true, nil
+		}
+	}
+	if s.tenantQuota > 0 {
+		active := 0
+		//ealb:allow-nondet quota counting is iteration-order-insensitive
+		for _, run := range s.runs {
+			if run.tenant == tenant && !terminal(run.Status) {
+				active++
+			}
+		}
+		if active >= s.tenantQuota {
+			return nil, false, errQuota
+		}
+	}
+	// The store reserves the ID: unique across restarts (the disk store
+	// scans its directory and reserves with an atomic mkdir), so a
+	// restarted process can never mint an ID that collides with
+	// persisted history.
+	id, seq, err := s.store.NewID()
+	if err != nil {
+		return nil, false, err
 	}
 	s.wg.Add(1)
-	s.nextID++
 	spec := ex.Spec()
 	run := &Run{
-		ID:       fmt.Sprintf("run-%06d", s.nextID),
+		ID:       id,
 		Status:   StatusQueued,
 		Created:  time.Now().UTC(), //ealb:allow-nondet wall-clock run timestamp; lifecycle metadata, not simulation state
-		seq:      s.nextID,
+		seq:      seq,
+		tenant:   tenant,
+		idemKey:  idemKey,
 		expanded: ex,
 		single:   single,
 		cancel:   cancel,
@@ -297,32 +439,112 @@ func (s *Server) newRun(ex engine.ExpandedSweep, single bool, cancel context.Can
 		}
 	}
 	s.runs[run.ID] = run
-	return run, true
+	if idemKey != "" {
+		s.idem[idemIndex(tenant, idemKey)] = run.ID
+	}
+	// Write-through: claim and persist the queued run so a crash from
+	// here on leaves a resumable record. Store errors past the ID
+	// reservation degrade durability, not the run; they are logged, not
+	// fatal.
+	if _, err := s.store.Claim(run.ID, s.owner, s.leaseTTL); err != nil {
+		s.logStoreError("claim", run.ID, err)
+	}
+	if err := s.store.PutRun(s.recordLocked(run)); err != nil {
+		s.logStoreError("put", run.ID, err)
+	}
+	return run, false, nil
 }
 
-// execute runs the spec and records the outcome.
+// recordLocked builds the durable form of a run. Caller holds s.mu.
+func (s *Server) recordLocked(run *Run) store.Record {
+	rec := store.Record{
+		ID:       run.ID,
+		Seq:      run.seq,
+		Status:   run.Status,
+		Single:   run.single,
+		Tenant:   run.tenant,
+		IdemKey:  run.idemKey,
+		Error:    run.Error,
+		Created:  run.Created,
+		Started:  run.Started,
+		Finished: run.Finished,
+	}
+	if raw, err := json.Marshal(run.expanded.Spec()); err == nil {
+		rec.Spec = raw
+	}
+	var result any
+	switch {
+	case run.Result != nil:
+		result = run.Result
+	case run.Sweep != nil:
+		result = run.Sweep
+	}
+	if result != nil {
+		if raw, err := json.Marshal(result); err == nil {
+			rec.Result = raw
+		}
+	}
+	return rec
+}
+
+// logStoreError reports a non-fatal store write failure.
+func (s *Server) logStoreError(op, id string, err error) {
+	if s.logger != nil {
+		s.logger.Error("run store write failed", "op", op, "run", id, "error", err)
+	}
+}
+
+// execute runs the spec — skipping cells already checkpointed when
+// resuming — and records the outcome, writing every transition through
+// the store.
 func (s *Server) execute(ctx context.Context, run *Run) {
 	now := time.Now().UTC() //ealb:allow-nondet wall-clock run timestamp; lifecycle metadata, not simulation state
 	s.mu.Lock()
 	run.Status = StatusRunning
 	run.Started = &now
+	if err := s.store.PutRun(s.recordLocked(run)); err != nil {
+		s.logStoreError("put", run.ID, err)
+	}
 	s.mu.Unlock()
 
 	if s.logger != nil {
-		s.logger.Info("run started", "run", run.ID)
+		s.logger.Info("run started", "run", run.ID, "resumedCells", len(run.resume))
 	}
 
-	var observe func(int, any)
+	hooks := engine.RunHooks{Completed: run.resume}
 	if run.tail != nil {
-		observe = run.tail.observe
-	}
-	var tracerFor func(int) trace.Tracer
-	if run.traceTail != nil {
-		tracerFor = func(cell int) trace.Tracer {
-			return &tailTracer{srv: s, tail: run.traceTail, cell: cell}
+		hooks.Observe = func(cell int, st any) {
+			run.tail.observe(cell, st)
+			// Persist the interval so failed/cancelled runs stream from
+			// the store once the live buffers are released.
+			if raw, err := json.Marshal(st); err == nil {
+				if err := s.store.AppendInterval(run.ID, cell, raw); err != nil {
+					s.logStoreError("interval", run.ID, err)
+				}
+			}
 		}
 	}
-	res, err := s.pool.RunExpandedTraced(ctx, run.expanded, observe, tracerFor)
+	if run.traceTail != nil {
+		hooks.TracerFor = func(cell int) trace.Tracer {
+			return &tailTracer{srv: s, tail: run.traceTail, runID: run.ID, cell: cell}
+		}
+	}
+	// Checkpoint each finished cell and renew the lease: a crash after
+	// this point re-runs only the cells that had not checkpointed, and
+	// determinism makes the merged resume byte-identical.
+	hooks.CellDone = func(cell int, res engine.Result) {
+		raw, err := json.Marshal(res)
+		if err != nil {
+			return
+		}
+		if err := s.store.PutCell(run.ID, store.CellResult{Cell: cell, Result: raw}); err != nil {
+			s.logStoreError("cell", run.ID, err)
+		}
+		if _, err := s.store.Claim(run.ID, s.owner, s.leaseTTL); err != nil {
+			s.logStoreError("claim", run.ID, err)
+		}
+	}
+	res, err := s.pool.RunExpandedHooked(ctx, run.expanded, hooks)
 
 	end := time.Now().UTC() //ealb:allow-nondet wall-clock run timestamp; lifecycle metadata, not simulation state
 	s.mu.Lock()
@@ -343,21 +565,38 @@ func (s *Server) execute(ctx context.Context, run *Run) {
 		run.Status = StatusFailed
 		run.Error = err.Error()
 	}
+	rec := s.recordLocked(run)
 	s.mu.Unlock()
 
-	// Mark the tail terminal only after the outcome is recorded, so a
-	// reader that observes a released tail finds the full result. A
-	// completed run's intervals live in its result; dropping the tail
-	// buffers avoids holding every interval twice for the rest of the
-	// process lifetime. Failed/cancelled runs keep their partial buffers
-	// — there is no result to serve them from.
-	if run.tail != nil {
-		run.tail.finish(err == nil)
+	// Persist the terminal record before releasing the live buffers, so
+	// a reader that observes a released tail finds the outcome — then
+	// drop what the record supersedes. A done run's intervals and cell
+	// checkpoints live inside its recorded result; failed/cancelled runs
+	// keep their interval streams in the store (that is where their
+	// tails now stream from).
+	if perr := s.store.PutRun(rec); perr != nil {
+		s.logStoreError("put", run.ID, perr)
 	}
-	// The trace tail is kept (finish without release): decision events
-	// live nowhere else, so a finished run's trace stays streamable.
+	if err == nil {
+		if derr := s.store.DropIntervals(run.ID); derr != nil {
+			s.logStoreError("drop", run.ID, derr)
+		}
+		if derr := s.store.DropCells(run.ID); derr != nil {
+			s.logStoreError("drop", run.ID, derr)
+		}
+	}
+	if rerr := s.store.Release(run.ID, s.owner); rerr != nil {
+		s.logStoreError("release", run.ID, rerr)
+	}
+	// Release both tails unconditionally: the process no longer pins any
+	// finished run's stream buffers (the pre-store service kept
+	// failed-run intervals and every trace for its whole lifetime).
+	// Readers fall through to the recorded result or the store.
+	if run.tail != nil {
+		run.tail.finish(true)
+	}
 	if run.traceTail != nil {
-		run.traceTail.finish(false)
+		run.traceTail.finish(true)
 	}
 	if s.logger != nil {
 		s.mu.Lock()
@@ -417,7 +656,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	type row struct {
-		seq int
+		seq int64
 		s   summary
 	}
 	rows := make([]row, 0, len(s.runs))
@@ -528,11 +767,22 @@ func (s *Server) handleIntervals(w http.ResponseWriter, r *http.Request) {
 	for {
 		items, done, released, wake := run.tail.after(cell, sent)
 		if released {
-			// The run completed and the live buffers were dropped;
-			// stream the remainder from the recorded result.
-			if stats := s.snapshot(run.ID).cellStats(cell); sent < len(stats) {
-				emit(stats[sent:])
+			// The run reached a terminal status and the live buffers were
+			// dropped. A done run streams the remainder from its recorded
+			// result; a failed/cancelled one streams it from the store and
+			// closes with the terminal status line, so a tail client sees
+			// why no more intervals will come.
+			snap := s.snapshot(run.ID)
+			if snap.Status == StatusDone {
+				if stats := snap.cellStats(cell); sent < len(stats) {
+					emit(stats[sent:])
+				}
+				return
 			}
+			if lines, err := s.store.Intervals(run.ID, cell); err == nil && sent < len(lines) {
+				emit(rawLines(lines[sent:]))
+			}
+			emit([]any{map[string]string{"status": snap.Status, "error": snap.Error}})
 			return
 		}
 		if !emit(items) {
@@ -543,11 +793,8 @@ func (s *Server) handleIntervals(w http.ResponseWriter, r *http.Request) {
 			continue // re-check before blocking: more may have arrived
 		}
 		if done {
-			// done without release means the run failed or was
-			// cancelled; close the stream with the terminal status so a
-			// tail client sees why no more intervals will come. (A
-			// successful run releases its buffers instead and never
-			// reaches here.)
+			// Defensive: finish now always releases, but close with the
+			// status line if a done-without-release state ever appears.
 			snap := s.snapshot(run.ID)
 			emit([]any{map[string]string{"status": snap.Status, "error": snap.Error}})
 			return
@@ -558,6 +805,17 @@ func (s *Server) handleIntervals(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// rawLines adapts stored NDJSON lines for the tail emit helpers:
+// json.RawMessage re-encodes verbatim, so stored bytes stream back
+// unmodified.
+func rawLines(lines [][]byte) []any {
+	out := make([]any, len(lines))
+	for i, ln := range lines {
+		out[i] = json.RawMessage(ln)
+	}
+	return out
 }
 
 // cellStats returns the recorded per-interval stats of one cluster or
@@ -613,7 +871,32 @@ func newTail(cells int) *tail {
 	return &tail{n: cells, cells: make([][]any, cells), wake: make(chan struct{})}
 }
 
+// releasedTail builds a tail already in the terminal released state —
+// recovered terminal runs, whose streams live in the store or the
+// recorded result.
+func releasedTail(cells int) *tail {
+	t := newTail(cells)
+	t.finish(true)
+	return t
+}
+
 func (t *tail) cellCount() int { return t.n }
+
+// preload seeds a cell's buffer with stored stream lines before the run
+// (re)starts: a resumed run's checkpointed cells never re-observe, so
+// live tail clients get their intervals from the preloaded lines
+// instead. json.RawMessage entries encode verbatim, matching the
+// original stream bytes.
+func (t *tail) preload(cell int, lines [][]byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cell < 0 || cell >= len(t.cells) || t.done {
+		return
+	}
+	for _, ln := range lines {
+		t.cells[cell] = append(t.cells[cell], json.RawMessage(ln))
+	}
+}
 
 // observe appends one interval and wakes blocked readers. It is called
 // from engine worker goroutines.

@@ -5,15 +5,35 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 
 	"ealb/internal/engine"
+	"ealb/internal/store"
 )
+
+// testOptions builds the server options for the suite's store backend.
+// EALB_TEST_STORE=disk runs every serve test against the durable disk
+// store in a test tempdir (the CI race matrix exercises this variant,
+// mirroring EALB_TEST_TRACE); anything else keeps the in-memory
+// default.
+func testOptions(t *testing.T) Options {
+	t.Helper()
+	if os.Getenv("EALB_TEST_STORE") != "disk" {
+		return Options{}
+	}
+	d, err := store.OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return Options{Store: d}
+}
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(engine.NewPool(2))
+	s := NewWith(engine.NewPool(2), testOptions(t))
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { s.Wait(); ts.Close() })
 	return s, ts

@@ -1,0 +1,424 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ealb/internal/engine"
+	"ealb/internal/store"
+)
+
+// diskServer builds a server over a disk store in dir, so tests can
+// "restart" the service by building another one over the same dir.
+func diskServer(t *testing.T, dir string, workers int, opts Options) (*Server, *httptest.Server, *store.Disk) {
+	t.Helper()
+	d, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	opts.Store = d
+	s := NewWith(engine.NewPool(workers), opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { s.Wait(); ts.Close() })
+	return s, ts, d
+}
+
+// TestKillResumeByteIdentical is the tentpole acceptance test: a sweep
+// interrupted mid-cell resumes after a restart against the same store
+// directory and finishes byte-identical to the same spec run
+// uninterrupted.
+func TestKillResumeByteIdentical(t *testing.T) {
+	// Four cells on one worker run strictly serially, so interrupting
+	// after the first checkpoint reliably leaves completed and
+	// incomplete cells behind.
+	body := `{"sizes":[300],"seeds":[1,2,3,4],"intervals":600,"compare_baseline":true}`
+
+	// Reference: the same spec, uninterrupted.
+	_, want := postRun(t, newServerForBody(t), body, true)
+	if want.Status != StatusDone || want.Sweep == nil {
+		t.Fatalf("reference run = %+v", want)
+	}
+	wantRaw, err := json.Marshal(want.Sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	s1, ts1, d1 := diskServer(t, dir, 1, Options{Owner: "node-a"})
+	_, run := postRun(t, ts1, body, false)
+
+	// Wait for the first cell checkpoint, then "kill" the run: DELETE
+	// stops the engine mid-sweep exactly like process death would, and
+	// forging the record back to running reproduces the on-disk state an
+	// actual crash leaves (a crashed process never writes a terminal
+	// record or releases its lease).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cells, err := d1.Cells(run.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cells) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no cell checkpoint appeared")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts1.URL+"/v1/runs/"+run.ID, nil)
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del.Body.Close()
+	s1.Wait()
+
+	checkpointed, err := d1.Cells(run.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checkpointed) == 0 || len(checkpointed) >= 4 {
+		t.Fatalf("interruption checkpointed %d of 4 cells; the test needs a strict subset", len(checkpointed))
+	}
+	rec, ok, err := d1.GetRun(run.ID)
+	if err != nil || !ok {
+		t.Fatalf("record: ok=%v err=%v", ok, err)
+	}
+	rec.Status = StatusRunning
+	rec.Error = ""
+	rec.Finished = nil
+	if err := d1.PutRun(rec); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := d1.Claim(run.ID, "node-a", time.Hour); err != nil || !ok {
+		t.Fatalf("re-arming crash lease: ok=%v err=%v", ok, err)
+	}
+
+	// Restart: same dir, same owner — the replica reclaims its own lease
+	// immediately and resumes from the checkpoints.
+	s2, ts2, _ := diskServer(t, dir, 1, Options{Owner: "node-a"})
+	if err := s2.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s2.Wait()
+	snap := s2.snapshot(run.ID)
+	if snap == nil || snap.Status != StatusDone || snap.Sweep == nil {
+		t.Fatalf("resumed run = %+v", snap)
+	}
+	if len(snap.resume) != len(checkpointed) {
+		t.Fatalf("resume map has %d cells, want %d", len(snap.resume), len(checkpointed))
+	}
+	gotRaw, err := json.Marshal(snap.Sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotRaw) != string(wantRaw) {
+		t.Fatalf("resumed result differs from uninterrupted run (%d vs %d bytes)", len(gotRaw), len(wantRaw))
+	}
+
+	// Regression (the restart-ID-collision bug): the restarted process
+	// must never reuse a persisted ID.
+	_, run2 := postRun(t, ts2, `{"size":20,"intervals":2}`, true)
+	if run2.ID == run.ID {
+		t.Fatalf("restarted service reused run ID %q", run.ID)
+	}
+	if run2.ID <= run.ID {
+		t.Fatalf("restarted service minted %q, not past persisted %q", run2.ID, run.ID)
+	}
+}
+
+// newServerForBody builds an isolated default (memory-store) server.
+func newServerForBody(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := New(engine.NewPool(1))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { s.Wait(); ts.Close() })
+	return ts
+}
+
+// TestRestartRecoversHistory: finished runs survive a restart — the
+// record, the result, and GET /v1/runs ordering.
+func TestRestartRecoversHistory(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1, _ := diskServer(t, dir, 2, Options{})
+	_, r1 := postRun(t, ts1, `{"size":20,"intervals":3}`, true)
+	_, r2 := postRun(t, ts1, `{"sizes":[20,30],"intervals":3}`, true)
+	if r1.Status != StatusDone || r2.Status != StatusDone {
+		t.Fatalf("seed runs: %+v / %+v", r1, r2)
+	}
+
+	s2, ts2, _ := diskServer(t, dir, 2, Options{})
+	if err := s2.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts2.URL + "/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Runs []struct {
+			ID     string `json:"id"`
+			Status string `json:"status"`
+		} `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Runs) != 2 || list.Runs[0].ID != r1.ID || list.Runs[1].ID != r2.ID {
+		t.Fatalf("recovered list = %+v", list.Runs)
+	}
+	snap := s2.snapshot(r1.ID)
+	if snap == nil || snap.Status != StatusDone || snap.Result == nil {
+		t.Fatalf("recovered single run = %+v", snap)
+	}
+	if got := s2.snapshot(r2.ID); got == nil || got.Sweep == nil || len(got.Sweep.Cells) != 2 {
+		t.Fatalf("recovered sweep run = %+v", got)
+	}
+}
+
+// TestIdempotencyKeyReplay: a repeated Idempotency-Key (per tenant)
+// answers with the original run instead of starting a new one; another
+// tenant's identical key is a fresh run.
+func TestIdempotencyKeyReplay(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"size":20,"intervals":3}`
+	post := func(tenant, key string, wait bool) (*http.Response, Run) {
+		t.Helper()
+		url := ts.URL + "/v1/runs"
+		if wait {
+			url += "?wait=1"
+		}
+		req, _ := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			req.Header.Set("X-Tenant", tenant)
+		}
+		if key != "" {
+			req.Header.Set("Idempotency-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var run Run
+		if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+			t.Fatal(err)
+		}
+		return resp, run
+	}
+
+	resp1, run1 := post("acme", "key-1", true)
+	if resp1.StatusCode != http.StatusOK || resp1.Header.Get("Idempotency-Replayed") != "" {
+		t.Fatalf("first submit: status=%d replayed=%q", resp1.StatusCode, resp1.Header.Get("Idempotency-Replayed"))
+	}
+	resp2, run2 := post("acme", "key-1", false)
+	if run2.ID != run1.ID {
+		t.Fatalf("replay started a new run: %q vs %q", run2.ID, run1.ID)
+	}
+	if resp2.Header.Get("Idempotency-Replayed") != "true" {
+		t.Fatal("replay response missing Idempotency-Replayed header")
+	}
+	// The original finished, so the replay carries the final result.
+	if resp2.StatusCode != http.StatusOK || run2.Status != StatusDone || run2.Result == nil {
+		t.Fatalf("replay = %d %+v", resp2.StatusCode, run2)
+	}
+	// Same key, different tenant: a separate run.
+	_, run3 := post("globex", "key-1", true)
+	if run3.ID == run1.ID {
+		t.Fatal("idempotency keys leaked across tenants")
+	}
+}
+
+// TestTenantQuota: a tenant at its active-run quota gets 429; other
+// tenants are unaffected; a finished run frees the slot.
+func TestTenantQuota(t *testing.T) {
+	s := NewWith(engine.NewPool(2), Options{TenantQuota: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { s.Wait(); ts.Close() })
+
+	post := func(tenant, body string, wait bool) *http.Response {
+		t.Helper()
+		url := ts.URL + "/v1/runs"
+		if wait {
+			url += "?wait=1"
+		}
+		req, _ := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// A long run occupies acme's only slot.
+	_, slow := postRunTenant(t, ts, "acme", `{"size":300,"intervals":10000}`, false)
+	if resp := post("acme", `{"size":20,"intervals":2}`, false); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit status = %d, want 429", resp.StatusCode)
+	}
+	if resp := post("globex", `{"size":20,"intervals":2}`, true); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant status = %d, want 200", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+slow.ID, nil)
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del.Body.Close()
+	s.Wait()
+	if resp := post("acme", `{"size":20,"intervals":2}`, true); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cancel submit status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func postRunTenant(t *testing.T, ts *httptest.Server, tenant, body string, wait bool) (*http.Response, Run) {
+	t.Helper()
+	url := ts.URL + "/v1/runs"
+	if wait {
+		url += "?wait=1"
+	}
+	req, _ := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var run Run
+	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+		t.Fatal(err)
+	}
+	return resp, run
+}
+
+// TestCancelledIntervalsServedFromStore pins the tail-buffer leak fix:
+// a cancelled run's live buffers are released at terminal status, and a
+// later /intervals read streams the recorded lines from the store,
+// still ending with the documented {"status":...} line.
+func TestCancelledIntervalsServedFromStore(t *testing.T) {
+	s, ts := newTestServer(t)
+	_, run := postRun(t, ts, `{"size":300,"intervals":10000}`, false)
+
+	// Let at least one interval land, then cancel and drain.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		lines, err := s.store.Intervals(run.ID, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lines) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no interval reached the store")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+run.ID, nil)
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del.Body.Close()
+	s.Wait()
+
+	// The live buffers are gone (the leak fix)...
+	snap := s.snapshot(run.ID)
+	if snap.Status != StatusCancelled {
+		t.Fatalf("run status = %q", snap.Status)
+	}
+	snap.tail.mu.Lock()
+	released := snap.tail.released
+	snap.tail.mu.Unlock()
+	if !released {
+		t.Fatal("cancelled run's tail buffers were not released")
+	}
+
+	// ...but the stream still serves, from the store, with the terminal
+	// status line last.
+	resp, err := http.Get(ts.URL + "/v1/runs/" + run.ID + "/intervals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	intervals, status := 0, ""
+	for dec.More() {
+		var line struct {
+			Sleeping *int   `json:"Sleeping"`
+			Status   string `json:"status"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Status != "" {
+			status = line.Status
+			continue
+		}
+		if status != "" {
+			t.Fatal("interval line after the status line")
+		}
+		intervals++
+	}
+	if intervals == 0 || status != StatusCancelled {
+		t.Fatalf("post-cancel stream: %d intervals, final status %q", intervals, status)
+	}
+
+	// The store eventually bounds cancelled-run streams too (the memory
+	// store's retention window); here we only pin that nothing pins the
+	// tail buffer itself.
+}
+
+// TestTraceServedFromStoreAfterFinish pins the trace-tail leak fix: a
+// finished traced run's events stream from the store after the live
+// buffers are released.
+func TestTraceServedFromStoreAfterFinish(t *testing.T) {
+	s, ts := newTestServer(t)
+	_, run := postRun(t, ts, `{"size":40,"intervals":4,"trace":true}`, true)
+	if run.Status != StatusDone {
+		t.Fatalf("run = %+v", run)
+	}
+	snap := s.snapshot(run.ID)
+	snap.traceTail.mu.Lock()
+	released := snap.traceTail.released
+	snap.traceTail.mu.Unlock()
+	if !released {
+		t.Fatal("finished run's trace buffers were not released")
+	}
+	resp, err := http.Get(ts.URL + "/v1/runs/" + run.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	events := 0
+	for dec.More() {
+		var e map[string]any
+		if err := dec.Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		events++
+	}
+	if events == 0 {
+		t.Fatal("finished run streamed no trace events from the store")
+	}
+	lines, err := s.store.Trace(run.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != len(lines) {
+		t.Fatalf("streamed %d events, store holds %d", events, len(lines))
+	}
+}
