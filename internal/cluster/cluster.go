@@ -268,10 +268,14 @@ type Cluster struct {
 
 	servers []*server.Server
 	net     *netsim.Network
-	rng     *xrand.Rand
-	appGen  *app.Generator
-	ledger  *scaling.Ledger
-	sim     *eventsim.Simulator
+	// rng is the protocol's seeded stream — planpure scratch: a pure
+	// plan may draw from it because the draw is part of the replayable
+	// protocol state, not an observable side effect.
+	//ealb:scratch
+	rng    *xrand.Rand
+	appGen *app.Generator
+	ledger *scaling.Ledger
+	sim    *eventsim.Simulator
 
 	now      units.Seconds
 	interval int
@@ -280,7 +284,9 @@ type Cluster struct {
 	wakesCompleted int
 
 	// leader owns the protocol's persistent streaks and all plan-time
-	// scratch (see leader.go).
+	// scratch (see leader.go) — planpure scratch: writes through it are
+	// what planning is.
+	//ealb:scratch
 	leader leaderState
 
 	// idx is the incrementally maintained fleet mirror the leader pass

@@ -297,6 +297,8 @@ func rawSum(hs []server.Hosted) units.Fraction {
 // planTouch materializes the working copy of id's hosted list on first
 // contact with the plan — the only plan-side read that follows the
 // server pointer (the app list lives there).
+//
+//ealb:pure
 func (c *Cluster) planTouch(id server.ID) {
 	ls := &c.leader
 	if ls.viewTouched[id] {
@@ -310,6 +312,8 @@ func (c *Cluster) planTouch(id server.ID) {
 
 // planLoad returns id's load as the plan's moves so far would leave it:
 // the projected sum for touched servers, the index column otherwise.
+//
+//ealb:pure
 func (c *Cluster) planLoad(id server.ID) units.Fraction {
 	if c.leader.viewTouched[id] {
 		return c.leader.viewRaw[id].Clamp()
@@ -318,17 +322,23 @@ func (c *Cluster) planLoad(id server.ID) units.Fraction {
 }
 
 // planRegime classifies id's projected load.
+//
+//ealb:pure
 func (c *Cluster) planRegime(id server.ID) regime.Region {
 	return c.idx.bounds[id].Classify(c.planLoad(id))
 }
 
 // planExcess returns id's projected load above its optimal region.
+//
+//ealb:pure
 func (c *Cluster) planExcess(id server.ID) units.Fraction {
 	return c.idx.bounds[id].Excess(c.planLoad(id))
 }
 
 // planFits reports whether dst can take demand under the limit, seen
 // through the projection.
+//
+//ealb:pure
 func (c *Cluster) planFits(dst server.ID, demand units.Fraction, limit acceptLimit) bool {
 	return c.planLoad(dst)+demand <= limit.limitAt(c.idx.bounds[dst])
 }
@@ -337,6 +347,8 @@ func (c *Cluster) planFits(dst server.ID, demand units.Fraction, limit acceptLim
 // live-active and not already slated for sleep by this plan. (A server
 // slated for wake-up is still Sleeping live, so it stays excluded — just
 // as the historical code's in-flight wake transition excluded it.)
+//
+//ealb:pure
 func (c *Cluster) planActive(id server.ID) bool {
 	return c.activeID(id) && !c.leader.plannedSleep[id]
 }
@@ -344,6 +356,8 @@ func (c *Cluster) planActive(id server.ID) bool {
 // planAppsByDemand fills the shared scratch with id's projected app list,
 // demand-sorted the way the shed loop consumes it. Valid until the next
 // call.
+//
+//ealb:pure
 func (c *Cluster) planAppsByDemand(id server.ID) []server.Hosted {
 	ls := &c.leader
 	if ls.viewTouched[id] {
@@ -360,6 +374,8 @@ func (c *Cluster) planAppsByDemand(id server.ID) []server.Hosted {
 // ordered summation (floating-point subtraction would drift from what the
 // server computes after the real removal); dst appends h and its sum
 // grows by running addition, exactly matching RawDemand after Place.
+//
+//ealb:pure
 func (c *Cluster) planMove(src, dst server.ID, h server.Hosted) {
 	c.planTouch(src)
 	c.planTouch(dst)
@@ -383,6 +399,8 @@ func (c *Cluster) planMove(src, dst server.ID, h server.Hosted) {
 // planClusterLoad is ClusterLoad through the projection: total projected
 // load over total capacity, summed in server-ID order like the live
 // version.
+//
+//ealb:pure
 func (c *Cluster) planClusterLoad() units.Fraction {
 	var sum float64
 	for i := range c.idx.load {
@@ -393,6 +411,8 @@ func (c *Cluster) planClusterLoad() units.Fraction {
 
 // planSleepTarget applies the configured sleep policy to the projected
 // cluster state (§6's 60% rule under SleepAuto).
+//
+//ealb:pure
 func (c *Cluster) planSleepTarget() acpi.CState {
 	switch c.cfg.Sleep {
 	case SleepC3Only:
@@ -412,6 +432,8 @@ func (c *Cluster) planSleepTarget() acpi.CState {
 // the projection: the most loaded one that still fits, concentrating load
 // per the paper's reformulated load balancing goal. Returns noServer when
 // no candidate fits.
+//
+//ealb:pure
 func (c *Cluster) planFindAcceptor(demand units.Fraction, exclude server.ID, limit acceptLimit) server.ID {
 	best := noServer
 	var bestLoad units.Fraction
@@ -437,10 +459,16 @@ func (c *Cluster) planFindAcceptor(demand units.Fraction, exclude server.ID, lim
 // planBalance call.
 //
 //ealb:hotpath
+//ealb:pure
 func (c *Cluster) planBalance() (*balancePlan, error) {
 	ls := &c.leader
 	ls.beginPlan()
 	// Reconcile the index once; the whole pass then runs on its columns.
+	// The flush is the one sanctioned impurity in the plan step: it
+	// folds already-recorded demand deltas into the read-only mirror —
+	// idempotent, order-insensitive, and invisible to the protocol's
+	// decision sequence (flushing twice is a no-op).
+	//ealb:allow-impure index flush reconciles a mirror of state already committed; not a decision effect
 	c.flushIndex()
 
 	// Step 1: every awake server reports its regime to the leader, in
@@ -475,6 +503,7 @@ func (c *Cluster) planBalance() (*balancePlan, error) {
 // sequence the historical ID-order scan fed them.
 //
 //ealb:hotpath
+//ealb:pure
 func (c *Cluster) planRelief() error {
 	ls := &c.leader
 	ix := &c.idx
@@ -584,6 +613,8 @@ func (c *Cluster) planRelief() error {
 // wake-up. It reports whether any server was picked. The scan covers
 // only the index's sleeper set; the (latency, ID)-lexicographic minimum
 // equals the historical full scan's first-minimal-latency pick.
+//
+//ealb:pure
 func (c *Cluster) planWake() bool {
 	ls := &c.leader
 	ix := &c.idx
@@ -622,6 +653,7 @@ func (c *Cluster) planWake() bool {
 // sequence.
 //
 //ealb:hotpath
+//ealb:pure
 func (c *Cluster) planConsolidation() {
 	ls := &c.leader
 	ix := &c.idx
@@ -683,6 +715,8 @@ func (c *Cluster) planConsolidation() {
 // evacuation would spend migrations without reclaiming a server), and a
 // failed attempt leaves the projection untouched — only the RNG advances,
 // exactly as the historical implementation's discarded plan did.
+//
+//ealb:pure
 func (c *Cluster) planEvacuation(d server.ID) bool {
 	ls := &c.leader
 	limit := acceptToOptMid

@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Chain analysis: the facts builder and the planpure analyzer both need
+// to answer "what does this selector chain ultimately write through,
+// and does it pass plan scratch on the way?" for expressions like
+// ls.viewApps[id] where ls := &c.leader.
+//
+// //ealb:scratch marks the storage a pure plan function is allowed to
+// mutate: a struct field (the Cluster's leaderState and protocol RNG)
+// or a named type. A chain that traverses a scratch-marked field or a
+// value of a scratch-marked type is scratch-confined — writes through
+// it are invisible outside the plan step by the annotation's contract,
+// so they are neither Mutates facts nor planpure findings.
+
+// scratchIndex records the package's //ealb:scratch annotations.
+type scratchIndex struct {
+	fields map[*types.Var]bool
+	types  map[*types.TypeName]bool
+}
+
+// buildScratchIndex collects scratch-marked struct fields and type
+// declarations from the package's syntax.
+func buildScratchIndex(files []*ast.File, info *types.Info) *scratchIndex {
+	sx := &scratchIndex{fields: map[*types.Var]bool{}, types: map[*types.TypeName]bool{}}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				if docHasMarker(n.Doc, noteScratch) || docHasMarker(n.Comment, noteScratch) {
+					if tn, ok := info.Defs[n.Name].(*types.TypeName); ok {
+						sx.types[tn] = true
+					}
+				}
+				if st, ok := n.Type.(*ast.StructType); ok {
+					sx.collectFields(st, info)
+				}
+			}
+			return true
+		})
+	}
+	return sx
+}
+
+func (sx *scratchIndex) collectFields(st *ast.StructType, info *types.Info) {
+	for _, field := range st.Fields.List {
+		if !docHasMarker(field.Doc, noteScratch) && !docHasMarker(field.Comment, noteScratch) {
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				sx.fields[v] = true
+			}
+		}
+	}
+}
+
+// scratchType reports whether t (possibly behind pointers) is a
+// scratch-marked named type.
+func (sx *scratchIndex) scratchType(t types.Type) bool {
+	for {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return sx.types[named.Obj()]
+}
+
+// chainInfo is the resolution of a selector/index chain: the object at
+// its root (receiver, parameter, local, or package variable) and
+// whether the chain passes scratch storage.
+type chainInfo struct {
+	root    types.Object
+	scratch bool
+}
+
+// resolveChain walks an lvalue or receiver expression to its root.
+// aliases maps locals like `ls := &c.leader` back to the chain they
+// borrow, so writes through the alias resolve to the receiver chain.
+func resolveChain(e ast.Expr, info *types.Info, sx *scratchIndex, aliases map[types.Object]chainInfo) chainInfo {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if obj == nil {
+			return chainInfo{}
+		}
+		if ci, ok := aliases[obj]; ok {
+			return ci
+		}
+		ci := chainInfo{root: obj}
+		if v, ok := obj.(*types.Var); ok && sx.scratchType(v.Type()) {
+			ci.scratch = true
+		}
+		return ci
+	case *ast.SelectorExpr:
+		ci := resolveChain(e.X, info, sx, aliases)
+		if selection, ok := info.Selections[e]; ok && selection.Kind() == types.FieldVal {
+			if v, ok := selection.Obj().(*types.Var); ok {
+				if sx.fields[v] || sx.scratchType(v.Type()) {
+					ci.scratch = true
+				}
+			}
+		} else if obj := info.ObjectOf(e.Sel); obj != nil {
+			// Package-qualified selector (pkg.Var): root at the named object.
+			if _, isPkg := info.ObjectOf(identOf(e.X)).(*types.PkgName); isPkg {
+				ci = chainInfo{root: obj}
+			}
+		}
+		return ci
+	case *ast.IndexExpr:
+		return resolveChain(e.X, info, sx, aliases)
+	case *ast.SliceExpr:
+		return resolveChain(e.X, info, sx, aliases)
+	case *ast.StarExpr:
+		return resolveChain(e.X, info, sx, aliases)
+	case *ast.ParenExpr:
+		return resolveChain(e.X, info, sx, aliases)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return resolveChain(e.X, info, sx, aliases)
+		}
+	}
+	return chainInfo{}
+}
+
+// localRebind reports whether an assignment target is a bare local
+// identifier (possibly parenthesized). Assigning to one — including a
+// := redefinition of an alias like ix := &c.idx — rebinds the local
+// variable and mutates nothing it points at; only selector-, index-,
+// or dereference-rooted targets write through to shared state.
+// Package-level identifiers are NOT rebinds: assigning them is an
+// observable mutation.
+func localRebind(e ast.Expr, info *types.Info) bool {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if id.Name == "_" {
+		return true
+	}
+	v, ok := info.ObjectOf(id).(*types.Var)
+	return ok && !isPackageLevel(v)
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// buildAliases scans a function body for `x := <chain>` / `x := &<chain>`
+// definitions whose right-hand side roots at an identifiable object, and
+// maps the local to that chain — the `ls := &c.leader` borrowing
+// pattern. Definitions are processed in source order, so chained
+// aliases (`ix := &c.idx; b := &ix.buckets`) resolve transitively.
+func buildAliases(fd *ast.FuncDecl, info *types.Info, sx *scratchIndex) map[types.Object]chainInfo {
+	aliases := map[types.Object]chainInfo{}
+	if fd.Body == nil {
+		return aliases
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				continue
+			}
+			ci := resolveChain(as.Rhs[i], info, sx, aliases)
+			if ci.root != nil && ci.root != obj {
+				aliases[obj] = ci
+			}
+		}
+		return true
+	})
+	return aliases
+}

@@ -91,21 +91,46 @@ func checkHotCall(pass *Pass, call *ast.CallExpr, stack []ast.Node, report func(
 			case "new":
 				report(call.Pos(), "hot path calls new; allocate once outside the interval loop and reuse")
 			case "append":
-				if len(call.Args) > 0 && freshStorage(pass, call.Args[0]) {
+				if len(call.Args) > 0 && freshStorage(pass.Info, pass.Files, call.Args[0]) {
 					report(call.Pos(), "hot path appends to storage that is fresh on every call; append into a persistent scratch slice instead")
 				}
 			}
 			return
 		}
 	}
-	// fmt formatting. A call returned directly is the cold failure path:
-	// the simulation is already aborting, so the allocation never shows
-	// up in steady state.
+	// fmt formatting. A call returned directly or handed straight to
+	// panic is the cold failure path: the simulation is already
+	// aborting, so the allocation never shows up in steady state.
 	if name, ok := qualifiedCall(pass.Info, call, "fmt"); ok && fmtFamily[name] {
-		if !returnedDirectly(call, stack) {
+		if !returnedDirectly(call, stack) && !panicArgument(pass.Info, call, stack) {
 			report(call.Pos(), "hot path formats with fmt.%s (allocates); precompute, or annotate //ealb:allow-alloc", name)
 		}
 	}
+}
+
+// panicArgument reports whether the call is a direct argument of a
+// panic — evaluated only while unwinding the program.
+func panicArgument(info *types.Info, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	outer, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := outer.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+		return false
+	}
+	for _, arg := range outer.Args {
+		if arg == ast.Expr(call) {
+			return true
+		}
+	}
+	return false
 }
 
 // returnedDirectly reports whether the call is an operand of the
@@ -130,7 +155,7 @@ func returnedDirectly(call *ast.CallExpr, stack []ast.Node) bool {
 // freshStorage reports whether the expression denotes backing storage
 // created anew on every execution of the enclosing function — the
 // append pattern that defeats scratch-buffer reuse.
-func freshStorage(pass *Pass, e ast.Expr) bool {
+func freshStorage(info *types.Info, files []*ast.File, e ast.Expr) bool {
 	switch e := e.(type) {
 	case *ast.CompositeLit:
 		return true
@@ -139,11 +164,11 @@ func freshStorage(pass *Pass, e ast.Expr) bool {
 		// call is assumed to hand back reused storage (AppendX-style
 		// helpers do).
 		if id, ok := e.Fun.(*ast.Ident); ok {
-			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "make" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "make" {
 				return true
 			}
 		}
-		if _, isType := pass.Info.Types[e.Fun]; isType && pass.Info.Types[e.Fun].IsType() {
+		if tv, isType := info.Types[e.Fun]; isType && tv.IsType() {
 			return true
 		}
 		return false
@@ -151,7 +176,7 @@ func freshStorage(pass *Pass, e ast.Expr) bool {
 		if e.Name == "nil" {
 			return true
 		}
-		return freshLocal(pass, e)
+		return freshLocal(info, files, e)
 	default:
 		// Selectors, index expressions, slicings: persistent or
 		// caller-owned storage.
@@ -162,8 +187,8 @@ func freshStorage(pass *Pass, e ast.Expr) bool {
 // freshLocal reports whether an identifier names a local variable whose
 // declaration creates fresh storage (nil var, literal, or make) rather
 // than borrowing a persistent buffer (x := s.buf[:0] and friends).
-func freshLocal(pass *Pass, id *ast.Ident) bool {
-	obj := pass.Info.ObjectOf(id)
+func freshLocal(info *types.Info, files []*ast.File, id *ast.Ident) bool {
+	obj := info.ObjectOf(id)
 	if obj == nil {
 		return false
 	}
@@ -171,7 +196,7 @@ func freshLocal(pass *Pass, id *ast.Ident) bool {
 	if !ok || v.Parent() == nil || v.Parent() == v.Pkg().Scope() {
 		return false // package-level or field: persistent
 	}
-	decl := declExprOf(pass, obj)
+	decl := declExprOf(info, files, obj)
 	if decl == nil {
 		// No declaring node found: a parameter or range variable —
 		// caller-owned storage, conservatively treated as reused.
@@ -188,7 +213,7 @@ func freshLocal(pass *Pass, id *ast.Ident) bool {
 	case *ast.CompositeLit:
 		return true
 	case *ast.CallExpr:
-		return freshStorage(pass, decl)
+		return freshStorage(info, files, decl)
 	}
 	return false
 }
@@ -201,9 +226,9 @@ var uninitVar ast.Expr = &ast.BadExpr{}
 // variable, or the uninitVar sentinel for an uninitialized var
 // declaration, or nil when no declaration is found (parameters, range
 // variables).
-func declExprOf(pass *Pass, obj types.Object) ast.Expr {
+func declExprOf(info *types.Info, files []*ast.File, obj types.Object) ast.Expr {
 	var found ast.Expr
-	for _, f := range pass.Files {
+	for _, f := range files {
 		if obj.Pos() < f.Pos() || obj.Pos() > f.End() {
 			continue
 		}
@@ -218,7 +243,7 @@ func declExprOf(pass *Pass, obj types.Object) ast.Expr {
 				}
 				for i, lhs := range n.Lhs {
 					id, ok := lhs.(*ast.Ident)
-					if !ok || pass.Info.Defs[id] != obj {
+					if !ok || info.Defs[id] != obj {
 						continue
 					}
 					if len(n.Rhs) == len(n.Lhs) {
@@ -229,7 +254,7 @@ func declExprOf(pass *Pass, obj types.Object) ast.Expr {
 				}
 			case *ast.ValueSpec:
 				for i, name := range n.Names {
-					if pass.Info.Defs[name] != obj {
+					if info.Defs[name] != obj {
 						continue
 					}
 					if len(n.Values) > i {

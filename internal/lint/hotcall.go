@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// HotCall is the interprocedural completion of hotalloc: a function
+// annotated //ealb:hotpath may not *call* — directly or through any
+// chain of module functions — something that allocates, even when the
+// allocation lives in another package. hotalloc sees only the annotated
+// body's own constructs; before the facts engine, a hot function
+// calling an allocating helper one package over passed vet and quietly
+// reintroduced per-interval garbage that only a benchmark's allocs/op
+// could catch (and only for the sizes the benchmark runs).
+//
+// The check consumes the Allocates fact (facts.go): each package
+// exports, per declared function, whether an unsanctioned
+// allocation-prone construct is reachable from it through statically
+// resolved calls. Callees that are themselves //ealb:hotpath (the Hot
+// fact) are skipped — their own package's hotalloc/hotcall run owns
+// any finding inside them, so one defect reports once, at the deepest
+// annotated frame.
+//
+// The escape is the hot-path escape: //ealb:allow-alloc <reason> on the
+// call line. Standard-library callees carry no facts and are trusted;
+// dynamic calls (interface methods, func values) are invisible to the
+// engine — the tracer, the one hot interface, is guarded by tracenil
+// and banned from plan bodies by planpure.
+var HotCall = &Analyzer{
+	Name: "hotcall",
+	Doc: "forbid //ealb:hotpath functions from calling, through any chain of " +
+		"statically resolved module calls, a function with the Allocates fact, " +
+		"unless the call is annotated //ealb:allow-alloc <reason>; callees " +
+		"marked //ealb:hotpath are checked in their own right and skipped here",
+	Run: runHotCall,
+}
+
+func runHotCall(pass *Pass) error {
+	for _, f := range pass.sourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !docHasMarker(fd.Doc, noteHotpath) {
+				continue
+			}
+			checkHotCalls(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotCalls(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := staticCallee(pass.Info, call)
+		facts := pass.calleeFacts(callee)
+		if facts == nil || facts.Allocates == nil || facts.Hot {
+			return true
+		}
+		if pass.suppressed(noteAllowAlloc, call.Pos()) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"hot path calls %s, which allocates (%s); make the callee allocation-free, annotate it //ealb:hotpath, or annotate this call //ealb:allow-alloc with a reason",
+			calleeName(callee), facts.Allocates.Via)
+		return true
+	})
+}

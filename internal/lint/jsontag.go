@@ -72,17 +72,55 @@ func checkDigestStruct(pass *Pass, typeName string, st *ast.StructType) {
 			}
 			tag, hasTag := jsonTagOf(field)
 			if !hasTag {
-				pass.Reportf(name.Pos(), "digest type %s: exported field %s has no explicit json tag; the wire name must not depend on the Go identifier", typeName, name.Name)
+				msg := "digest type %s: exported field %s has no explicit json tag; the wire name must not depend on the Go identifier"
+				// Pinning the current wire name — the Go identifier — is
+				// mechanical when the field has no tag literal at all and
+				// names exactly one field.
+				if field.Tag == nil && len(names) == 1 {
+					pass.ReportFix(name.Pos(), SuggestedFix{
+						Message: "pin the current wire name with an explicit json tag",
+						Edits: []TextEdit{{
+							Pos: field.Type.End(), End: field.Type.End(),
+							NewText: " `json:\"" + name.Name + "\"`",
+						}},
+					}, msg, typeName, name.Name)
+				} else {
+					pass.Reportf(name.Pos(), msg, typeName, name.Name)
+				}
 				continue
 			}
 			if tag == "-" {
 				continue
 			}
 			if isPointer(pass, field.Type) && !tagHasOmitempty(tag) {
-				pass.Reportf(name.Pos(), "digest type %s: optional (pointer) field %s must be `json:\"...,omitempty\"` so historical encodings keep their bytes", typeName, name.Name)
+				msg := "digest type %s: optional (pointer) field %s must be `json:\"...,omitempty\"` so historical encodings keep their bytes"
+				if lit := omitemptyTagLit(field, tag); lit != "" {
+					pass.ReportFix(name.Pos(), SuggestedFix{
+						Message: "add omitempty to the json tag",
+						Edits:   []TextEdit{{Pos: field.Tag.Pos(), End: field.Tag.End(), NewText: lit}},
+					}, msg, typeName, name.Name)
+				} else {
+					pass.Reportf(name.Pos(), msg, typeName, name.Name)
+				}
 			}
 		}
 	}
+}
+
+// omitemptyTagLit rebuilds a field's tag literal with ",omitempty"
+// appended to the json key's value, or returns "" when the literal is
+// not mechanically rewritable (non-backquoted, or the json key text is
+// not found verbatim).
+func omitemptyTagLit(field *ast.Field, tag string) string {
+	raw := field.Tag.Value
+	if !strings.HasPrefix(raw, "`") || !strings.HasSuffix(raw, "`") {
+		return ""
+	}
+	old := `json:"` + tag + `"`
+	if !strings.Contains(raw, old) {
+		return ""
+	}
+	return strings.Replace(raw, old, `json:"`+tag+`,omitempty"`, 1)
 }
 
 // jsonTagOf extracts the json struct-tag value of a field, reporting

@@ -52,11 +52,27 @@ type Analyzer struct {
 }
 
 // A Diagnostic is one finding, positioned in the analyzed package's
-// file set.
+// file set. SuggestedFixes, when present, are mechanical text edits
+// that resolve the finding; `ealb-vet -fix` applies them (fix.go).
 type Diagnostic struct {
-	Pos      token.Pos
-	Analyzer string
-	Message  string
+	Pos            token.Pos
+	Analyzer       string
+	Message        string
+	SuggestedFixes []SuggestedFix
+}
+
+// A SuggestedFix is one self-contained resolution of a diagnostic: a
+// set of non-overlapping text edits plus a human-readable description.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// A TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
 }
 
 // A Pass presents one type-checked package to an analyzer. The same
@@ -69,15 +85,58 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Facts holds this package's computed facts (facts.go); ImportFacts
+	// resolves dependency facts. Either may be nil for analyzers that
+	// never look (the original intraprocedural five).
+	Facts       *PackageFacts
+	ImportFacts FactSource
+
 	// Report receives each diagnostic as it is found.
 	Report func(Diagnostic)
 
-	notes *notes // lazily built annotation index, shared across analyzers
+	notes   *notes        // lazily built annotation index, shared across analyzers
+	scratch *scratchIndex // lazily built //ealb:scratch index
 }
 
 // Reportf reports one finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportFix reports one finding carrying a suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos: pos, Analyzer: p.Analyzer.Name,
+		Message:        fmt.Sprintf(format, args...),
+		SuggestedFixes: []SuggestedFix{fix},
+	})
+}
+
+// calleeFacts resolves a statically known callee to its FactSet — the
+// local table for functions of this package, the imported facts for
+// everything else — or nil when nothing is known.
+func (p *Pass) calleeFacts(fn *types.Func) *FactSet {
+	if fn == nil {
+		return nil
+	}
+	if fn.Pkg() == p.Pkg {
+		if p.Facts == nil {
+			return nil
+		}
+		return p.Facts.lookup(objKey(fn))
+	}
+	if p.ImportFacts == nil || fn.Pkg() == nil {
+		return nil
+	}
+	return p.ImportFacts(fn.Pkg().Path()).lookup(objKey(fn))
+}
+
+// scratchIdx builds (once) the package's //ealb:scratch index.
+func (p *Pass) scratchIdx() *scratchIndex {
+	if p.scratch == nil {
+		p.scratch = buildScratchIndex(p.Files, p.Info)
+	}
+	return p.scratch
 }
 
 // isTestFile reports whether the file holding pos is a _test.go file.
@@ -101,11 +160,17 @@ func (p *Pass) sourceFiles() []*ast.File {
 // Annotation markers. All project annotations share the "//ealb:"
 // namespace so a grep finds every contract exception at once.
 const (
-	noteAllowNondet   = "ealb:allow-nondet"
-	noteAllowAlloc    = "ealb:allow-alloc"
-	noteTracerChecked = "ealb:tracer-checked"
-	noteHotpath       = "ealb:hotpath"
-	noteDigest        = "ealb:digest"
+	noteAllowNondet    = "ealb:allow-nondet"
+	noteAllowAlloc     = "ealb:allow-alloc"
+	noteTracerChecked  = "ealb:tracer-checked"
+	noteAllowImpure    = "ealb:allow-impure"
+	noteAllowUnguarded = "ealb:allow-unguarded"
+	noteHotpath        = "ealb:hotpath"
+	noteDigest         = "ealb:digest"
+	notePure           = "ealb:pure"
+	noteScratch        = "ealb:scratch"
+	noteGuardedBy      = "ealb:guarded-by" // takes (mutexField)
+	noteLocked         = "ealb:locked"     // takes (mutexField)
 )
 
 // lineKey identifies one source line across the package's files.
@@ -125,17 +190,18 @@ type notes struct {
 	missingReason []token.Pos
 }
 
-// annotations builds (once) and returns the package's annotation index.
-func (p *Pass) annotations() *notes {
-	if p.notes != nil {
-		return p.notes
-	}
+// buildNotes indexes every suppression annotation in the files. It is
+// shared by Pass.annotations and the facts builder (which runs before
+// any Pass exists).
+func buildNotes(fset *token.FileSet, files []*ast.File) *notes {
 	n := &notes{allow: map[string]map[lineKey]bool{
-		noteAllowNondet:   {},
-		noteAllowAlloc:    {},
-		noteTracerChecked: {},
+		noteAllowNondet:    {},
+		noteAllowAlloc:     {},
+		noteTracerChecked:  {},
+		noteAllowImpure:    {},
+		noteAllowUnguarded: {},
 	}}
-	for _, f := range p.Files {
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
@@ -148,23 +214,35 @@ func (p *Pass) annotations() *notes {
 					if reason == "" {
 						n.missingReason = append(n.missingReason, c.Pos())
 					}
-					pos := p.Fset.Position(c.Pos())
+					pos := fset.Position(c.Pos())
 					set[lineKey{pos.Filename, pos.Line}] = true
 				}
 			}
 		}
 	}
-	p.notes = n
 	return n
+}
+
+// covered reports whether a site at pos is covered by the given
+// annotation marker — on the same line or the line above.
+func (n *notes) covered(marker string, fset *token.FileSet, pos token.Pos) bool {
+	set := n.allow[marker]
+	at := fset.Position(pos)
+	return set[lineKey{at.Filename, at.Line}] || set[lineKey{at.Filename, at.Line - 1}]
+}
+
+// annotations builds (once) and returns the package's annotation index.
+func (p *Pass) annotations() *notes {
+	if p.notes == nil {
+		p.notes = buildNotes(p.Fset, p.Files)
+	}
+	return p.notes
 }
 
 // suppressed reports whether a diagnostic at pos is covered by the
 // given annotation marker — on the same line or the line above.
 func (p *Pass) suppressed(marker string, pos token.Pos) bool {
-	n := p.annotations()
-	set := n.allow[marker]
-	at := p.Fset.Position(pos)
-	return set[lineKey{at.Filename, at.Line}] || set[lineKey{at.Filename, at.Line - 1}]
+	return p.annotations().covered(marker, p.Fset, pos)
 }
 
 // reportBareAnnotations reports every suppression annotation written
@@ -189,6 +267,30 @@ func docHasMarker(doc *ast.CommentGroup, marker string) bool {
 		}
 	}
 	return false
+}
+
+// docMarkerArg extracts the parenthesized argument of an annotation of
+// the form //ealb:marker(arg), searching the given comment groups (a
+// field's Doc and trailing Comment, a function's Doc). Text after the
+// closing parenthesis is free-form commentary.
+func docMarkerArg(marker string, groups ...*ast.CommentGroup) (string, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, marker+"(")
+			if !ok {
+				continue
+			}
+			arg, _, ok := strings.Cut(rest, ")")
+			if ok && arg != "" {
+				return strings.TrimSpace(arg), true
+			}
+		}
+	}
+	return "", false
 }
 
 // deterministicPackages lists the import-path roots whose non-test code
@@ -250,7 +352,9 @@ func qualifiedCall(info *types.Info, call *ast.CallExpr, pkgPath string) (string
 	return sel.Sel.Name, true
 }
 
-// Analyzers returns the full suite, in stable order.
+// Analyzers returns the full suite, in stable order: the five
+// intraprocedural contract checkers first, then the three fact-driven
+// interprocedural ones.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DetRand,
@@ -258,5 +362,8 @@ func Analyzers() []*Analyzer {
 		HotAlloc,
 		TraceNil,
 		JSONTag,
+		HotCall,
+		PlanPure,
+		LockGuard,
 	}
 }

@@ -37,6 +37,44 @@ func TestJSONTag(t *testing.T) {
 	runFixture(t, JSONTag, "ealb/internal/lintfixture/jsontag", "jsontag")
 }
 
+func TestHotCall(t *testing.T) {
+	runFixtureDeps(t, HotCall, "ealb/internal/lintfixture/hotcall", "hotcall", hotcallDeps)
+}
+
+func TestPlanPure(t *testing.T) {
+	runFixture(t, PlanPure, "ealb/internal/cluster/planpurefixture", "planpure")
+}
+
+func TestLockGuard(t *testing.T) {
+	runFixture(t, LockGuard, "ealb/internal/lintfixture/lockguard", "lockguard")
+}
+
+// hotcallDeps maps the hotcall fixture's dependency package onto its
+// testdata directory.
+var hotcallDeps = map[string]string{
+	"ealb/internal/lintfixture/hotcalldep": "hotcalldep",
+}
+
+// TestHotCallFactFlip is the cross-package acceptance check: the same
+// fixture that reports transitive-allocation findings with its
+// dependency's facts reports nothing when those facts are withheld —
+// proof the findings come from the imported fact table, not from
+// anything visible in the analyzed package alone.
+func TestHotCallFactFlip(t *testing.T) {
+	pkg, diags := analyzeFixtureDeps(t, HotCall, "ealb/internal/lintfixture/hotcall", "hotcall", hotcallDeps)
+	if len(diags) == 0 {
+		t.Fatal("hotcall fixture reported no findings with dependency facts present")
+	}
+	pkg.ImportFacts = func(string) *PackageFacts { return nil }
+	flipped, err := Run(pkg, []*Analyzer{HotCall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flipped) != 0 {
+		t.Errorf("withholding the dependency's facts should flip every finding off; still got %d: %v", len(flipped), flipped)
+	}
+}
+
 // The determinism rules are scoped: the same violations are legal in
 // packages outside the deterministic subtrees.
 func TestDetRandScopedToDeterministicPackages(t *testing.T) {
@@ -64,6 +102,14 @@ func TestBareAnnotationNeedsReason(t *testing.T) {
 // loaded package with the analyzer's findings.
 func analyzeFixture(t *testing.T, a *Analyzer, importPath, fixture string) (*Package, []Diagnostic) {
 	t.Helper()
+	return analyzeFixtureDeps(t, a, importPath, fixture, nil)
+}
+
+// analyzeFixtureDeps is analyzeFixture with additional fixture packages
+// overlaid as dependencies (import path → testdata/src directory), for
+// cross-package fact tests.
+func analyzeFixtureDeps(t *testing.T, a *Analyzer, importPath, fixture string, deps map[string]string) (*Package, []Diagnostic) {
+	t.Helper()
 	root, err := filepath.Abs("../..")
 	if err != nil {
 		t.Fatal(err)
@@ -73,6 +119,13 @@ func analyzeFixture(t *testing.T, a *Analyzer, importPath, fixture string) (*Pac
 		t.Fatal(err)
 	}
 	l := NewLoader("ealb", root)
+	for path, sub := range deps {
+		depDir, err := filepath.Abs(filepath.Join("testdata", "src", sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Overlay[path] = depDir
+	}
 	l.Overlay[importPath] = dir
 	pkg, err := l.Load(importPath, dir)
 	if err != nil {
@@ -89,7 +142,13 @@ func analyzeFixture(t *testing.T, a *Analyzer, importPath, fixture string) (*Pac
 // `// want` expectations, both ways.
 func runFixture(t *testing.T, a *Analyzer, importPath, fixture string) {
 	t.Helper()
-	pkg, diags := analyzeFixture(t, a, importPath, fixture)
+	runFixtureDeps(t, a, importPath, fixture, nil)
+}
+
+// runFixtureDeps is runFixture with dependency overlays.
+func runFixtureDeps(t *testing.T, a *Analyzer, importPath, fixture string, deps map[string]string) {
+	t.Helper()
+	pkg, diags := analyzeFixtureDeps(t, a, importPath, fixture, deps)
 	wants := collectWants(t, filepath.Join("testdata", "src", fixture))
 
 	for _, d := range diags {

@@ -20,6 +20,13 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// Facts is this package's own fact table; ImportFacts resolves the
+	// tables of its (transitive) module-internal dependencies. The
+	// loader fills both; tests may substitute ImportFacts to simulate a
+	// dependency without facts.
+	Facts       *PackageFacts
+	ImportFacts FactSource
 }
 
 // Loader type-checks packages from source without the go/packages
@@ -39,8 +46,10 @@ type Loader struct {
 	// ealb/internal/cluster so detrand treats it as deterministic).
 	Overlay map[string]string
 
-	std  types.Importer
-	pkgs map[string]*types.Package
+	std    types.Importer
+	pkgs   map[string]*types.Package
+	facts  map[string]*PackageFacts
+	loaded map[string]*Package
 }
 
 // NewLoader returns a loader rooted at the given module directory.
@@ -53,6 +62,8 @@ func NewLoader(modulePath, moduleRoot string) *Loader {
 		Overlay:    map[string]string{},
 		std:        importer.ForCompiler(fset, "source", nil),
 		pkgs:       map[string]*types.Package{},
+		facts:      map[string]*PackageFacts{},
+		loaded:     map[string]*Package{},
 	}
 }
 
@@ -88,12 +99,18 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		l.pkgs[path] = pkg
 		return pkg, nil
 	}
-	pkg, err := l.check(path, dir, nil)
+	pkg, _, _, err := l.check(path, dir)
 	if err != nil {
 		return nil, err
 	}
-	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// FactsFor is the loader's FactSource: facts for every module-internal
+// package it has loaded, nil for everything else (standard library,
+// packages not yet reached). Safe to call with any path.
+func (l *Loader) FactsFor(path string) *PackageFacts {
+	return l.facts[path]
 }
 
 // parseDir parses the directory's non-test Go files.
@@ -120,35 +137,45 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	return files, nil
 }
 
-// check parses and type-checks one directory as the given import path.
-func (l *Loader) check(path, dir string, info *types.Info) (*types.Package, error) {
+// check parses, type-checks, and fact-computes one directory as the
+// given import path. Type-checking imports dependencies first (through
+// Import, hence recursively through check for module-internal ones), so
+// by the time BuildFacts runs here every dependency's fact table is
+// already in l.facts — the import DAG is the evaluation order.
+func (l *Loader) check(path, dir string) (*types.Package, []*ast.File, *types.Info, error) {
+	// Idempotent: re-checking a path already loaded (as an earlier
+	// package's dependency) would mint a second *types.Package identity
+	// for it, and mixing the two across an import graph breaks
+	// type-checking of every later importer.
+	if p, ok := l.loaded[path]; ok {
+		return p.Types, p.Files, p.Info, nil
+	}
 	files, err := l.parseDir(dir)
 	if err != nil {
-		return nil, err
-	}
-	conf := types.Config{Importer: l}
-	pkg, err := conf.Check(path, l.Fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
-	}
-	return pkg, nil
-}
-
-// Load type-checks the package in dir under the given import path,
-// with the full type information the analyzers need.
-func (l *Loader) Load(path, dir string) (*Package, error) {
-	files, err := l.parseDir(dir)
-	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	info := newInfo()
 	conf := types.Config{Importer: l}
 	pkg, err := conf.Check(path, l.Fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+		return nil, nil, nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
 	l.pkgs[path] = pkg
-	return &Package{Path: path, Fset: l.Fset, Files: files, Types: pkg, Info: info}, nil
+	l.facts[path] = BuildFacts(path, l.Fset, files, pkg, info, l.FactsFor)
+	l.loaded[path] = &Package{
+		Path: path, Fset: l.Fset, Files: files, Types: pkg, Info: info,
+		Facts: l.facts[path], ImportFacts: l.FactsFor,
+	}
+	return pkg, files, info, nil
+}
+
+// Load type-checks the package in dir under the given import path,
+// with the full type information and fact tables the analyzers need.
+func (l *Loader) Load(path, dir string) (*Package, error) {
+	if _, _, _, err := l.check(path, dir); err != nil {
+		return nil, err
+	}
+	return l.loaded[path], nil
 }
 
 // newInfo allocates the types.Info maps the analyzers consume.
@@ -169,12 +196,14 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			Report:   func(d Diagnostic) { diags = append(diags, d) },
+			Analyzer:    a,
+			Fset:        pkg.Fset,
+			Files:       pkg.Files,
+			Pkg:         pkg.Types,
+			Info:        pkg.Info,
+			Facts:       pkg.Facts,
+			ImportFacts: pkg.ImportFacts,
+			Report:      func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("lint: %s: %w", a.Name, err)

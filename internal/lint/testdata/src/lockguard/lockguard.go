@@ -1,0 +1,105 @@
+// Package lockguard seeds lock-discipline violations: fields annotated
+// //ealb:guarded-by(mu) accessed with and without the named mutex held.
+package lockguard
+
+import "sync"
+
+type Reg struct {
+	mu sync.Mutex
+	//ealb:guarded-by(mu)
+	items map[string]int
+	//ealb:guarded-by(mu)
+	closed bool
+}
+
+// NewReg constructs before publication: accesses through the fresh
+// local are exempt — no other goroutine can hold a reference yet.
+func NewReg() *Reg {
+	r := &Reg{items: map[string]int{}}
+	r.closed = false
+	return r
+}
+
+// Get is the disciplined pattern: Lock, defer Unlock, access.
+func (r *Reg) Get(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.items[k]
+}
+
+// Close unlocks explicitly; the write sits between the pair.
+func (r *Reg) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+}
+
+// Peek reads without the lock.
+func (r *Reg) Peek(k string) int {
+	return r.items[k] // want `read of r\.items is guarded by mu but the lock is not held`
+}
+
+// Put writes without the lock.
+func (r *Reg) Put(k string, v int) {
+	r.items[k] = v // want `write to r\.items is guarded by mu but the lock is not held`
+}
+
+// EarlyReturn unlocks on the hit path and returns: the terminating
+// branch must not poison the held set at the join.
+func (r *Reg) EarlyReturn(k string) int {
+	r.mu.Lock()
+	if v, ok := r.items[k]; ok {
+		r.mu.Unlock()
+		return v
+	}
+	v := r.items[k+"!"]
+	r.mu.Unlock()
+	return v
+}
+
+// Leak drops the lock in one branch only: the merge point holds the
+// weakest guarantee of the two paths — none.
+func (r *Reg) Leak(k string, flush bool) int {
+	r.mu.Lock()
+	if flush {
+		r.mu.Unlock()
+	}
+	v := r.items[k] // want `read of r\.items is guarded by mu but the lock is not held`
+	if !flush {
+		r.mu.Unlock()
+	}
+	return v
+}
+
+// sizeLocked is a locked-section helper. Caller holds r.mu.
+//
+//ealb:locked(mu)
+func (r *Reg) sizeLocked() int {
+	return len(r.items)
+}
+
+// Approx is racy by design and says so.
+func (r *Reg) Approx() int {
+	//ealb:allow-unguarded approximate metric; a torn read is acceptable
+	return len(r.items)
+}
+
+type RWReg struct {
+	mu sync.RWMutex
+	//ealb:guarded-by(mu)
+	n int
+}
+
+// ReadN holds the read lock: reads are fine.
+func (r *RWReg) ReadN() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}
+
+// BumpUnderRLock writes under a read lock.
+func (r *RWReg) BumpUnderRLock() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.n++ // want `write to r\.n while holding only mu\.RLock`
+}

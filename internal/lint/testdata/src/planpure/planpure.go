@@ -1,0 +1,102 @@
+// Package planpurefixture seeds purity violations for the planpure
+// analyzer. It loads under the cluster subtree, so the plan* naming
+// rule applies: a plan-family method without //ealb:pure is itself a
+// finding.
+package planpurefixture
+
+import (
+	"time"
+
+	"ealb/internal/trace"
+)
+
+// ledger is the plan's working set; bump gives it a Mutates fact.
+type ledger struct {
+	total int
+}
+
+func (l *ledger) bump() { l.total++ }
+
+type C struct {
+	// scratch is the plan-time working set, mutable from pure code.
+	//ealb:scratch
+	scratch ledger
+
+	applied int
+	tracer  trace.Tracer
+}
+
+var tuning int
+
+// planGood mutates only scratch, through the usual borrowing alias.
+//
+//ealb:pure
+func (c *C) planGood(n int) {
+	ls := &c.scratch
+	ls.total += n
+}
+
+// planScratchCall calls a Mutates-fact method, but the receiver chain
+// passes scratch storage: mutating scratch is what planning is.
+//
+//ealb:pure
+func (c *C) planScratchCall() {
+	c.scratch.bump()
+}
+
+// planBad writes non-scratch receiver state.
+//
+//ealb:pure
+func (c *C) planBad(n int) {
+	c.applied += n // want `pure plan function assigns through receiver state \(c\.applied\)`
+}
+
+// planGlobal writes package-level state.
+//
+//ealb:pure
+func (c *C) planGlobal() {
+	tuning++ // want `pure plan function assigns package-level state \(tuning\)`
+}
+
+// apply is the effectful half; its Mutates fact flows to callers.
+func (c *C) apply(n int) {
+	c.applied += n
+}
+
+// now wraps the wall clock; its Nondet fact flows to callers.
+func now() time.Time {
+	return time.Now()
+}
+
+// planCalls reaches both effects through callees.
+//
+//ealb:pure
+func (c *C) planCalls() {
+	c.apply(1) // want `pure plan function calls \(\*ealb/internal/cluster/planpurefixture\.C\)\.apply, which mutates observable state`
+	_ = now()  // want `pure plan function calls internal/cluster/planpurefixture\.now, which is nondeterministic`
+}
+
+// planTrace calls the tracer: an apply-step effect, nil-guarded or not.
+//
+//ealb:pure
+func (c *C) planTrace() {
+	if c.tracer != nil {
+		c.tracer.Event(trace.Event{}) // want `pure plan function calls the tracer`
+	}
+}
+
+// planEscape carries a justified impurity.
+//
+//ealb:pure
+func (c *C) planEscape() {
+	//ealb:allow-impure reconciles a mirror of committed state, not a decision effect
+	c.apply(1)
+}
+
+// planForgot lacks the annotation the naming convention demands.
+func (c *C) planForgot() {} // want `plan-family method planForgot must be annotated //ealb:pure`
+
+// helperMutate is not plan-family and not annotated: free to mutate.
+func (c *C) helperMutate(n int) {
+	c.applied = n
+}

@@ -157,6 +157,7 @@ type Server struct {
 
 	// httpMu guards the per-route HTTP metrics map (observe.go).
 	httpMu sync.Mutex
+	//ealb:guarded-by(httpMu)
 	routes map[string]*routeMetrics
 
 	// store persists run records, interval/trace streams and cell
@@ -168,11 +169,14 @@ type Server struct {
 	leaseTTL    time.Duration
 	tenantQuota int
 
-	mu       sync.Mutex
-	runs     map[string]*Run
+	mu sync.Mutex
+	//ealb:guarded-by(mu)
+	runs map[string]*Run
+	//ealb:guarded-by(mu)
 	draining bool
 	// idem maps tenant-scoped idempotency keys to run IDs for replay
 	// dedup; rebuilt from the store by Recover.
+	//ealb:guarded-by(mu)
 	idem map[string]string
 	// wg counts every in-flight run — synchronous and asynchronous —
 	// and is incremented in newRun under mu, so Shutdown's draining
@@ -456,6 +460,8 @@ func (s *Server) newRun(ex engine.ExpandedSweep, single bool, cancel context.Can
 }
 
 // recordLocked builds the durable form of a run. Caller holds s.mu.
+//
+//ealb:locked(mu)
 func (s *Server) recordLocked(run *Run) store.Record {
 	rec := store.Record{
 		ID:       run.ID,
@@ -860,11 +866,15 @@ func (run *Run) cellStats(cell int) []any {
 type tail struct {
 	n int // cell count, stable after construction
 
-	mu       sync.Mutex
-	cells    [][]any
-	done     bool
+	mu sync.Mutex
+	//ealb:guarded-by(mu)
+	cells [][]any
+	//ealb:guarded-by(mu)
+	done bool
+	//ealb:guarded-by(mu)
 	released bool
-	wake     chan struct{} // closed and replaced on every append/finish
+	//ealb:guarded-by(mu)
+	wake chan struct{} // closed and replaced on every append/finish
 }
 
 func newTail(cells int) *tail {

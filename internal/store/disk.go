@@ -30,10 +30,12 @@ import (
 type Disk struct {
 	dir string
 
-	mu  sync.Mutex
+	mu sync.Mutex
+	//ealb:guarded-by(mu)
 	seq int64 // high-water mark of reserved sequence numbers
 	// handles caches open append handles per stream file so per-interval
 	// appends do not reopen the file; closed on Drop/Truncate/Close.
+	//ealb:guarded-by(mu)
 	handles map[string]*os.File
 }
 
@@ -237,6 +239,9 @@ func (d *Disk) drop(id, file string) error {
 	return err
 }
 
+// closeHandleLocked evicts one cached append handle. Caller holds d.mu.
+//
+//ealb:locked(mu)
 func (d *Disk) closeHandleLocked(path string) {
 	if f, ok := d.handles[path]; ok {
 		f.Close()

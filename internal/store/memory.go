@@ -19,12 +19,15 @@ const DefaultMemoryRetention = 64
 // with the Disk store so the service code has one path, but resumption
 // is only meaningful for durable stores.
 type Memory struct {
-	mu     sync.Mutex
-	seq    int64
+	mu sync.Mutex
+	//ealb:guarded-by(mu)
+	seq int64
+	//ealb:guarded-by(mu)
 	runs   map[string]*memRun
-	retain int
+	retain int // fixed at construction
 	// finished lists runs whose stream buffers are still retained,
 	// oldest first.
+	//ealb:guarded-by(mu)
 	finished []string
 }
 
@@ -47,6 +50,9 @@ func NewMemoryRetain(retain int) *Memory {
 	return &Memory{runs: make(map[string]*memRun), retain: retain}
 }
 
+// run returns (creating if needed) the record for id. Caller holds m.mu.
+//
+//ealb:locked(mu)
 func (m *Memory) run(id string) *memRun {
 	r, ok := m.runs[id]
 	if !ok {
